@@ -1,0 +1,107 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wikimatch {
+namespace benchharness {
+
+double ScaleFromEnv(double fallback) {
+  const char* env = std::getenv("WIKIMATCH_SCALE");
+  if (env == nullptr) return fallback;
+  double v = std::atof(env);
+  return v > 0.0 ? v : fallback;
+}
+
+BenchContext::BenchContext(double scale) : scale_(scale) {
+  std::printf("# generating corpus at scale %.2f ...\n", scale);
+  synth::CorpusGenerator generator(synth::GeneratorOptions::Paper(scale));
+  auto generated = generator.Generate();
+  if (!generated.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    std::abort();
+  }
+  gc_ = std::make_unique<synth::GeneratedCorpus>(
+      std::move(generated).ValueOrDie());
+  pipeline_ = std::make_unique<match::MatchPipeline>(&gc_->corpus);
+  std::printf("# corpus: %zu articles | pt infoboxes %zu | vi infoboxes %zu\n",
+              gc_->corpus.size(), gc_->corpus.InfoboxCount("pt"),
+              gc_->corpus.InfoboxCount("vi"));
+}
+
+const PairContext& BenchContext::Pair(const std::string& lang) {
+  auto it = pairs_.find(lang);
+  if (it != pairs_.end()) return it->second;
+
+  PairContext ctx;
+  ctx.lang = lang;
+  match::TypeMatcher type_matcher;
+  ctx.type_matches = type_matcher.Match(gc_->corpus, lang, gc_->hub);
+
+  for (const auto& tm : ctx.type_matches) {
+    TypeContext tc;
+    tc.type_a = tm.type_a;
+    tc.type_b = tm.type_b;
+    auto hub_it = gc_->hub_type_of.find({gc_->hub, tm.type_b});
+    if (hub_it == gc_->hub_type_of.end()) continue;
+    tc.hub_type = hub_it->second;
+
+    match::SchemaBuilderOptions translated_opts;
+    translated_opts.translate_values = true;
+    auto translated = pipeline_->BuildPair(lang, tm.type_a, gc_->hub,
+                                           tm.type_b, translated_opts);
+    if (!translated.ok()) continue;
+    tc.translated = std::move(translated).ValueOrDie();
+
+    match::SchemaBuilderOptions raw_opts;
+    raw_opts.translate_values = false;
+    auto raw =
+        pipeline_->BuildPair(lang, tm.type_a, gc_->hub, tm.type_b, raw_opts);
+    if (!raw.ok()) continue;
+    tc.raw = std::move(raw).ValueOrDie();
+
+    match::SchemaBuilderOptions sampled_opts = translated_opts;
+    sampled_opts.max_sample_infoboxes = kComaSampleInfoboxes;
+    auto sampled_translated = pipeline_->BuildPair(lang, tm.type_a, gc_->hub,
+                                                   tm.type_b, sampled_opts);
+    if (!sampled_translated.ok()) continue;
+    tc.sampled_translated = std::move(sampled_translated).ValueOrDie();
+
+    sampled_opts.translate_values = false;
+    auto sampled_raw = pipeline_->BuildPair(lang, tm.type_a, gc_->hub,
+                                            tm.type_b, sampled_opts);
+    if (!sampled_raw.ok()) continue;
+    tc.sampled_raw = std::move(sampled_raw).ValueOrDie();
+
+    tc.num_duals = tc.translated.num_duals;
+    tc.freqs = tc.translated.Frequencies();
+    ctx.types.push_back(std::move(tc));
+  }
+  std::stable_sort(ctx.types.begin(), ctx.types.end(),
+                   [](const TypeContext& x, const TypeContext& y) {
+                     return x.num_duals > y.num_duals;
+                   });
+  return pairs_.emplace(lang, std::move(ctx)).first->second;
+}
+
+const eval::MatchSet& BenchContext::Truth(const std::string& hub_type) const {
+  return gc_->ground_truth.at(hub_type);
+}
+
+eval::Prf BenchContext::Eval(const TypeContext& type,
+                             const eval::MatchSet& matches,
+                             const std::string& lang) const {
+  return eval::WeightedPrf(matches, Truth(type.hub_type), type.freqs, lang,
+                           gc_->hub);
+}
+
+std::string F2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace benchharness
+}  // namespace wikimatch

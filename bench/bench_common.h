@@ -1,0 +1,84 @@
+// Shared harness for the table/figure reproduction benches: one generated
+// corpus per process, cached per-pair schema data, and evaluation glue.
+//
+// Every bench binary accepts the corpus scale via the WIKIMATCH_SCALE
+// environment variable (default 1.0 = the paper-sized dataset: 8,898 Pt-En
+// and 659 Vn-En dual infoboxes).
+
+#ifndef WIKIMATCH_BENCH_BENCH_COMMON_H_
+#define WIKIMATCH_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "match/pipeline.h"
+#include "synth/generator.h"
+
+namespace wikimatch {
+namespace benchharness {
+
+/// \brief Scale from $WIKIMATCH_SCALE, or `fallback`.
+double ScaleFromEnv(double fallback = 1.0);
+
+/// \brief Everything cached for one (lang, hub) pair.
+struct TypeContext {
+  std::string hub_type;  ///< ground-truth key ("film")
+  std::string type_a;    ///< localized ("filme")
+  std::string type_b;    ///< hub-side ("film")
+  size_t num_duals = 0;
+  /// Schema data with lang_a values translated through the dictionary.
+  match::TypePairData translated;
+  /// Schema data with raw (untranslated) values — for baselines without
+  /// dictionary access.
+  match::TypePairData raw;
+  /// Bounded-sample variants (first kComaSampleInfoboxes duals) modelling
+  /// schema-matching tools that see limited instances (COMA++).
+  match::TypePairData sampled_translated;
+  match::TypePairData sampled_raw;
+  eval::AttrFrequencies freqs;
+};
+
+struct PairContext {
+  std::string lang;  ///< "pt" or "vi"
+  std::vector<match::TypeMatch> type_matches;
+  std::vector<TypeContext> types;  ///< ordered by num_duals, descending
+};
+
+/// \brief Process-wide bench fixture.
+class BenchContext {
+ public:
+  explicit BenchContext(double scale);
+
+  const synth::GeneratedCorpus& gc() const { return *gc_; }
+  const match::MatchPipeline& pipeline() const { return *pipeline_; }
+  double scale() const { return scale_; }
+
+  /// \brief Cached pair context; builds on first use.
+  const PairContext& Pair(const std::string& lang);
+
+  /// \brief Ground truth for a hub type.
+  const eval::MatchSet& Truth(const std::string& hub_type) const;
+
+  /// \brief Weighted P/R/F of `matches` for (lang, hub).
+  eval::Prf Eval(const TypeContext& type, const eval::MatchSet& matches,
+                 const std::string& lang) const;
+
+ private:
+  double scale_;
+  std::unique_ptr<synth::GeneratedCorpus> gc_;
+  std::unique_ptr<match::MatchPipeline> pipeline_;
+  std::map<std::string, PairContext> pairs_;
+};
+
+/// \brief "0.93"-style formatting shorthand.
+std::string F2(double v);
+
+/// \brief Instance budget of the COMA++ baseline (dual infoboxes).
+inline constexpr size_t kComaSampleInfoboxes = 12;
+
+}  // namespace benchharness
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Reproduces Figure 7 (Appendix C): COMA++ configurations —
+//   N     name matcher only
+//   I     instance matcher only (raw values)
+//   NI    both, no translation
+//   N+G   names via machine translation (synthetic MT oracle)
+//   I+D   instances with the auto-derived dictionary
+//   NG+ID both with their translations
+//
+// Expected shape (paper): name-only matching is poor across languages
+// (very poor for Vn-En); instance matching carries most of the signal; for
+// Pt-En the best is NG+ID, for Vn-En adding translated names *hurts*
+// (ID alone is best).
+
+#include <cstdio>
+
+#include "baselines/coma_matcher.h"
+#include "bench_common.h"
+#include "eval/table.h"
+#include "synth/mt_oracle.h"
+
+using namespace wikimatch;
+using benchharness::BenchContext;
+using benchharness::F2;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool use_name;
+  bool use_instance;
+  bool translate_names;
+  bool translated_values;  // which TypePairData sample to use
+};
+
+eval::Prf RunVariant(BenchContext* ctx, const std::string& lang,
+                     const Variant& variant,
+                     const baselines::NameTranslations& mt) {
+  baselines::ComaConfig config;
+  config.use_name = variant.use_name;
+  config.use_instance = variant.use_instance;
+  config.translate_names = variant.translate_names;
+  config.threshold = 0.01;
+  std::vector<eval::Prf> rows;
+  for (const auto& type : ctx->Pair(lang).types) {
+    const auto& data = variant.translated_values ? type.sampled_translated
+                                                 : type.sampled_raw;
+    auto result = baselines::RunComaMatcher(data, config, mt);
+    if (!result.ok()) continue;
+    rows.push_back(ctx->Eval(type, result->matches, lang));
+  }
+  return eval::AveragePrf(rows);
+}
+
+}  // namespace
+
+int main() {
+  BenchContext ctx(benchharness::ScaleFromEnv());
+  baselines::NameTranslations mt = synth::MakeMtOracle(ctx.gc());
+
+  const std::vector<Variant> variants = {
+      {"N", true, false, false, false},
+      {"I", false, true, false, false},
+      {"NI", true, true, false, false},
+      {"N+G", true, false, true, false},
+      {"I+D", false, true, false, true},
+      {"NG+ID", true, true, true, true},
+  };
+
+  eval::Table table({"config", "Pt-En P", "Pt-En R", "Pt-En F", "Vn-En P",
+                     "Vn-En R", "Vn-En F"});
+  for (const auto& variant : variants) {
+    eval::Prf pt = RunVariant(&ctx, "pt", variant, mt);
+    eval::Prf vn = RunVariant(&ctx, "vi", variant, mt);
+    table.AddRow({variant.name, F2(pt.precision), F2(pt.recall), F2(pt.f1),
+                  F2(vn.precision), F2(vn.recall), F2(vn.f1)});
+  }
+  std::printf("\nFigure 7 — COMA++ configurations (paper: instance matching "
+              "dominates; NG+ID best for Pt-En; for Vn-En translated names "
+              "hurt, I+D best)\n%s\n",
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "baselines/bouma_matcher.h"
+
+#include <map>
+
+#include "text/normalize.h"
+
+namespace wikimatch {
+namespace baselines {
+
+namespace {
+
+// True when values v_a (in lang_a) and v_b (in lang_b) match per Bouma:
+// identical normalized text, or any pair of their links lands on articles
+// joined by a cross-language link.
+bool ValuesMatch(const wiki::Corpus& corpus, const wiki::AttributeValue& va,
+                 const std::string& lang_a, const wiki::AttributeValue& vb,
+                 const std::string& lang_b) {
+  std::string ta = text::NormalizeValue(va.text);
+  std::string tb = text::NormalizeValue(vb.text);
+  if (!ta.empty() && ta == tb) return true;
+  for (const auto& la : va.links) {
+    wiki::ArticleId ida = corpus.FindByTitle(lang_a, la.target);
+    if (ida == wiki::kInvalidArticle) continue;
+    for (const auto& lb : vb.links) {
+      wiki::ArticleId idb = corpus.FindByTitle(lang_b, lb.target);
+      if (idb == wiki::kInvalidArticle) continue;
+      if (corpus.SameEntity(ida, idb)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Result<BoumaResult> RunBoumaMatcher(const wiki::Corpus& corpus,
+                                          const std::string& lang_a,
+                                          const std::string& type_a,
+                                          const std::string& lang_b,
+                                          const std::string& type_b,
+                                          const BoumaMatcherConfig& config) {
+  // votes[pair] = dual infoboxes with matching values;
+  // copresent[pair] = dual infoboxes containing both attributes.
+  std::map<std::pair<std::string, std::string>, size_t> votes;
+  std::map<std::pair<std::string, std::string>, size_t> copresent;
+
+  size_t num_duals = 0;
+  for (wiki::ArticleId id : corpus.ArticlesOfType(lang_a, type_a)) {
+    wiki::ArticleId other = corpus.CrossLanguageTarget(id, lang_b);
+    if (other == wiki::kInvalidArticle) continue;
+    const wiki::Article& b_article = corpus.Get(other);
+    if (!b_article.infobox.has_value() || b_article.entity_type != type_b) {
+      continue;
+    }
+    ++num_duals;
+    const wiki::Infobox& box_a = corpus.Get(id).infobox.value();
+    const wiki::Infobox& box_b = b_article.infobox.value();
+    for (const auto& [attr_a, value_a] : box_a.attributes) {
+      for (const auto& [attr_b, value_b] : box_b.attributes) {
+        auto key = std::make_pair(attr_a, attr_b);
+        copresent[key]++;
+        if (ValuesMatch(corpus, value_a, lang_a, value_b, lang_b)) {
+          votes[key]++;
+        }
+      }
+    }
+  }
+  if (num_duals == 0) {
+    return util::Status::NotFound("no dual infoboxes for Bouma baseline");
+  }
+
+  BoumaResult out;
+  for (const auto& [key, n_votes] : votes) {
+    size_t n_co = copresent[key];
+    if (n_votes < config.min_votes) continue;
+    if (static_cast<double>(n_votes) <
+        config.min_agreement * static_cast<double>(n_co)) {
+      continue;
+    }
+    out.matches.AddPair(eval::AttrKey{lang_a, key.first},
+                        eval::AttrKey{lang_b, key.second});
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace wikimatch

@@ -1,0 +1,46 @@
+// Bouma et al. baseline (CLIAWS3 2009; paper Section 4.1 / [5]):
+// cross-lingual infobox alignment by matching attribute-value pairs. Two
+// values match when they are identical, or when they carry links whose
+// landing articles are joined by a cross-language link. An attribute pair
+// is aligned when its values match in enough dual infoboxes — a
+// high-precision, recall-limited strategy.
+
+#ifndef WIKIMATCH_BASELINES_BOUMA_MATCHER_H_
+#define WIKIMATCH_BASELINES_BOUMA_MATCHER_H_
+
+#include "eval/match_set.h"
+#include "match/dictionary.h"
+#include "util/result.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace baselines {
+
+/// \brief Configuration of the Bouma baseline.
+struct BoumaMatcherConfig {
+  /// Minimum number of dual infoboxes where the pair's values match.
+  size_t min_votes = 2;
+  /// Minimum fraction of the pair's co-present dual infoboxes with
+  /// matching values.
+  double min_agreement = 0.25;
+};
+
+/// \brief Result of the Bouma baseline on one type pair.
+struct BoumaResult {
+  eval::MatchSet matches{/*transitive=*/false};
+};
+
+/// \brief Runs the Bouma alignment over the dual infoboxes of
+/// (lang_a, type_a) x (lang_b, type_b).
+util::Result<BoumaResult> RunBoumaMatcher(const wiki::Corpus& corpus,
+                                          const std::string& lang_a,
+                                          const std::string& type_a,
+                                          const std::string& lang_b,
+                                          const std::string& type_b,
+                                          const BoumaMatcherConfig& config
+                                          = {});
+
+}  // namespace baselines
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_BASELINES_BOUMA_MATCHER_H_

@@ -1,0 +1,139 @@
+#include "baselines/coma_matcher.h"
+
+#include <algorithm>
+
+#include "match/aligner.h"
+#include "text/normalize.h"
+#include "text/string_similarity.h"
+
+namespace wikimatch {
+namespace baselines {
+
+double ComaNameSimilarity(const std::string& name_a,
+                          const std::string& name_b) {
+  std::string a = text::FoldDiacritics(name_a);
+  std::string b = text::FoldDiacritics(name_b);
+  return 0.5 * (text::TrigramSimilarity(a, b) +
+                text::JaroWinklerSimilarity(a, b));
+}
+
+namespace {
+
+// Profile of an attribute: its top value components by frequency, sorted
+// for stability, space-joined; plus the fraction of numeric components.
+struct InstanceProfile {
+  std::string text;
+  double numeric_share = 0.0;
+};
+
+InstanceProfile ProfileOf(const match::TypePairData& data,
+                          const match::AttributeGroup& g,
+                          size_t top_terms = 10) {
+  std::vector<std::pair<double, uint32_t>> ranked;
+  double total = 0.0;
+  double numeric = 0.0;
+  for (const auto& [id, weight] : g.values.entries()) {
+    ranked.emplace_back(weight, id);
+    total += weight;
+    const std::string& term = data.value_terms.TermOf(id);
+    if (!term.empty() && term[0] >= '0' && term[0] <= '9') numeric += weight;
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second < y.second;
+  });
+  if (ranked.size() > top_terms) ranked.resize(top_terms);
+  std::vector<std::string> terms;
+  for (const auto& [weight, id] : ranked) {
+    terms.push_back(data.value_terms.TermOf(id));
+  }
+  std::sort(terms.begin(), terms.end());
+  InstanceProfile out;
+  for (const auto& t : terms) {
+    if (!out.text.empty()) out.text += " ";
+    out.text += t;
+  }
+  out.numeric_share = total > 0.0 ? numeric / total : 0.0;
+  return out;
+}
+
+}  // namespace
+
+double ComaInstanceSimilarity(const match::TypePairData& data,
+                              const match::AttributeGroup& a,
+                              const match::AttributeGroup& b) {
+  InstanceProfile pa = ProfileOf(data, a);
+  InstanceProfile pb = ProfileOf(data, b);
+  double text_sim = text::TrigramSimilarity(pa.text, pb.text);
+  double numeric_sim = 1.0 - std::abs(pa.numeric_share - pb.numeric_share);
+  return 0.7 * text_sim + 0.3 * numeric_sim;
+}
+
+util::Result<ComaResult> RunComaMatcher(
+    const match::TypePairData& data, const ComaConfig& config,
+    const NameTranslations& name_translations) {
+  if (!config.use_name && !config.use_instance) {
+    return util::Status::InvalidArgument(
+        "COMA needs at least one matcher enabled");
+  }
+
+  // Indexes of each side's groups.
+  std::vector<size_t> side_a;
+  std::vector<size_t> side_b;
+  for (size_t i = 0; i < data.groups.size(); ++i) {
+    if (data.groups[i].key.language == data.lang_a) {
+      side_a.push_back(i);
+    } else {
+      side_b.push_back(i);
+    }
+  }
+
+  // Full similarity matrix.
+  std::map<std::pair<size_t, size_t>, double> sim_matrix;
+  std::map<size_t, double> best_of;  // per group, its best score
+  for (size_t ia : side_a) {
+    const auto& ga = data.groups[ia];
+    std::string name_a = ga.key.name;
+    if (config.translate_names) {
+      auto it = name_translations.find({data.lang_a, name_a});
+      if (it != name_translations.end()) name_a = it->second;
+    }
+    for (size_t ib : side_b) {
+      const auto& gb = data.groups[ib];
+      // COMA's default aggregation averages the enabled matchers' scores —
+      // which is exactly why the paper sees the name matcher's high scores
+      // drown the more reliable instance scores in combined configurations.
+      double sim = 0.0;
+      double matchers = 0.0;
+      if (config.use_name) {
+        sim += ComaNameSimilarity(name_a, gb.key.name);
+        matchers += 1.0;
+      }
+      if (config.use_instance) {
+        sim += ComaInstanceSimilarity(data, ga, gb);
+        matchers += 1.0;
+      }
+      sim /= matchers;
+      sim_matrix[{ia, ib}] = sim;
+      best_of[ia] = std::max(best_of[ia], sim);
+      best_of[ib] = std::max(best_of[ib], sim);
+    }
+  }
+
+  ComaResult out;
+  for (const auto& [key, sim] : sim_matrix) {
+    if (sim < config.threshold) continue;
+    bool best_for_a = sim >= best_of[key.first] - config.tie_tolerance;
+    bool best_for_b = sim >= best_of[key.second] - config.tie_tolerance;
+    bool selected = config.require_reciprocal ? (best_for_a && best_for_b)
+                                              : best_for_a;
+    if (selected) {
+      out.matches.AddPair(data.groups[key.first].key,
+                          data.groups[key.second].key);
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace wikimatch

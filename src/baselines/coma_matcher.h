@@ -1,0 +1,78 @@
+// COMA++-style schema matching baseline (paper Section 4.1 / Figure 7 /
+// [3]): name-based and instance-based matchers with optional translation of
+// attribute names (machine translation) and values (the auto-derived
+// dictionary), combined per attribute and selected with the Multiple(0,0,0)
+// strategy plus a threshold δ.
+
+#ifndef WIKIMATCH_BASELINES_COMA_MATCHER_H_
+#define WIKIMATCH_BASELINES_COMA_MATCHER_H_
+
+#include <map>
+#include <string>
+
+#include "eval/match_set.h"
+#include "match/schema_builder.h"
+#include "util/result.h"
+
+namespace wikimatch {
+namespace baselines {
+
+/// \brief Attribute-name translation table for the name matcher
+/// (lang, attribute name) -> translated name. The synthetic MT oracle
+/// (synth/mt_oracle.h) and the auto dictionary both produce this form.
+using NameTranslations = std::map<std::pair<std::string, std::string>,
+                                  std::string>;
+
+/// \brief One COMA++ configuration (the paper's N / I / NI / N+G / I+D /
+/// NG+ID variants are combinations of these switches).
+struct ComaConfig {
+  /// Enable the name matcher (string similarity over attribute labels).
+  bool use_name = true;
+  /// Enable the instance matcher (cosine over value vectors). The caller
+  /// controls value translation (the +D of I+D) by how it builds the
+  /// TypePairData (SchemaBuilderOptions::translate_values).
+  bool use_instance = false;
+  /// Translate lang_a attribute names through `name_translations` before
+  /// the name matcher runs (the +G / +D of the name matcher).
+  bool translate_names = false;
+  /// Selection threshold δ (paper's best: 0.01).
+  double threshold = 0.01;
+  /// Multiple(0,0,0): candidates within this tolerance of an attribute's
+  /// best score are all selected.
+  double tie_tolerance = 0.0;
+  /// COMA++'s both-directions selection: a correspondence survives only if
+  /// each side is (within tolerance of) the other's best candidate.
+  bool require_reciprocal = true;
+};
+
+/// \brief Result of one COMA++ run.
+struct ComaResult {
+  eval::MatchSet matches{/*transitive=*/false};
+};
+
+/// \brief Name similarity used by the name matcher: mean of trigram Dice
+/// and Jaro-Winkler over lowercased, diacritics-folded names. Exposed for
+/// tests.
+double ComaNameSimilarity(const std::string& name_a,
+                          const std::string& name_b);
+
+/// \brief Instance similarity in COMA++'s style: each attribute is reduced
+/// to a profile of its most frequent value components plus a numeric-share
+/// feature, compared by character-trigram similarity — not a corpus-wide
+/// term-vector cosine (that is WikiMatch's vsim, which COMA++ does not
+/// have). Exposed for tests.
+double ComaInstanceSimilarity(const match::TypePairData& data,
+                              const match::AttributeGroup& a,
+                              const match::AttributeGroup& b);
+
+/// \brief Runs COMA++ over one type pair.
+///
+/// `name_translations` may be empty when translate_names is false.
+util::Result<ComaResult> RunComaMatcher(
+    const match::TypePairData& data, const ComaConfig& config,
+    const NameTranslations& name_translations = {});
+
+}  // namespace baselines
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_BASELINES_COMA_MATCHER_H_

@@ -1,0 +1,176 @@
+#include "baselines/ziggurat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "match/aligner.h"
+#include "text/normalize.h"
+#include "text/string_similarity.h"
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace baselines {
+
+namespace {
+
+// Fraction of a group's value mass that is numeric components.
+double NumericShare(const match::TypePairData& data,
+                    const match::AttributeGroup& g) {
+  double total = 0.0;
+  double numeric = 0.0;
+  for (const auto& [id, w] : g.values.entries()) {
+    total += w;
+    const std::string& term = data.value_terms.TermOf(id);
+    if (!term.empty() && term[0] >= '0' && term[0] <= '9') numeric += w;
+  }
+  return total > 0.0 ? numeric / total : 0.0;
+}
+
+// Jaccard over the supports of two sparse vectors.
+double SupportJaccard(const la::SparseVector& a, const la::SparseVector& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& [id, w] : a.entries()) {
+    if (b.Get(id) > 0.0) ++inter;
+  }
+  size_t uni = a.NumNonZero() + b.NumNonZero() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace
+
+ZigguratMatcher::ZigguratMatcher(ZigguratConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<double> ZigguratMatcher::Features(
+    const match::TypePairData& data, const match::AttributeGroup& a,
+    const match::AttributeGroup& b) {
+  std::string name_a = text::FoldDiacritics(a.key.name);
+  std::string name_b = text::FoldDiacritics(b.key.name);
+
+  double vsim = match::AttributeAligner::ValueSimilarity(a, b);
+  double lsim = match::AttributeAligner::LinkSimilarity(a, b);
+
+  double occ_a = std::max(a.occurrences, 1.0);
+  double occ_b = std::max(b.occurrences, 1.0);
+  double co = 0.0;
+  for (uint32_t doc : a.dual_docs) {
+    if (b.dual_docs.count(doc) > 0) co += 1.0;
+  }
+
+  size_t words_a = 1 + std::count(name_a.begin(), name_a.end(), ' ');
+  size_t words_b = 1 + std::count(name_b.begin(), name_b.end(), ' ');
+
+  double mass_a = std::max(a.values.Sum(), 1.0);
+  double mass_b = std::max(b.values.Sum(), 1.0);
+
+  return {
+      // Name syntactic features (the original's n-gram block).
+      text::TrigramSimilarity(name_a, name_b),
+      text::NgramJaccard(name_a, name_b, 2),
+      text::JaroWinklerSimilarity(name_a, name_b),
+      text::LevenshteinSimilarity(name_a, name_b),
+      static_cast<double>(text::CommonPrefixLength(name_a, name_b)) /
+          std::max<double>(1.0, std::min(name_a.size(), name_b.size())),
+      name_a == name_b ? 1.0 : 0.0,
+      std::fabs(static_cast<double>(words_a) - static_cast<double>(words_b)),
+      // Value features.
+      vsim,
+      SupportJaccard(a.values, b.values),
+      std::fabs(NumericShare(data, a) - NumericShare(data, b)),
+      std::fabs(std::log(mass_a / occ_a) - std::log(mass_b / occ_b)),
+      // Link features.
+      lsim,
+      // Occurrence statistics.
+      std::min(occ_a, occ_b) / std::max(occ_a, occ_b),
+      co / std::min(occ_a, occ_b),
+  };
+}
+
+util::Status ZigguratMatcher::Train(
+    const std::vector<const match::TypePairData*>& types) {
+  std::vector<la::LabeledExample> examples;
+  util::Rng rng(config_.seed);
+  num_positives_ = 0;
+  num_negatives_ = 0;
+
+  std::vector<la::LabeledExample> negatives;
+  for (const match::TypePairData* data : types) {
+    for (size_t i = 0; i < data->groups.size(); ++i) {
+      const auto& ga = data->groups[i];
+      if (ga.key.language != data->lang_a) continue;
+      for (size_t j = 0; j < data->groups.size(); ++j) {
+        const auto& gb = data->groups[j];
+        if (gb.key.language != data->lang_b) continue;
+        double vsim = match::AttributeAligner::ValueSimilarity(ga, gb);
+        double lsim = match::AttributeAligner::LinkSimilarity(ga, gb);
+        bool names_equal = text::FoldDiacritics(ga.key.name) ==
+                           text::FoldDiacritics(gb.key.name);
+        bool positive = names_equal ||
+                        std::max(vsim, lsim) > config_.positive_value_cosine;
+        bool negative = !positive && vsim < config_.negative_value_cosine &&
+                        rng.NextBool(0.5);
+        if (positive && num_positives_ < config_.max_positives) {
+          examples.push_back({Features(*data, ga, gb), true});
+          ++num_positives_;
+        } else if (negative && negatives.size() < config_.max_negatives) {
+          negatives.push_back({Features(*data, ga, gb), false});
+        }
+      }
+    }
+  }
+  if (examples.empty()) {
+    return util::Status::NotFound("heuristics found no training examples");
+  }
+  // Keep the classes balanced (at most 2 negatives per positive).
+  rng.Shuffle(&negatives);
+  num_negatives_ = std::min(negatives.size(), 2 * num_positives_);
+  for (size_t k = 0; k < num_negatives_; ++k) {
+    examples.push_back(std::move(negatives[k]));
+  }
+  return model_.Train(examples, config_.training)
+      .WithContext("ziggurat training");
+}
+
+double ZigguratMatcher::Score(const match::TypePairData& data,
+                              const match::AttributeGroup& a,
+                              const match::AttributeGroup& b) const {
+  return model_.Predict(Features(data, a, b));
+}
+
+util::Result<eval::MatchSet> ZigguratMatcher::Match(
+    const match::TypePairData& data) const {
+  if (!model_.trained()) {
+    return util::Status::Internal("ziggurat matcher is not trained");
+  }
+  eval::MatchSet matches(/*transitive=*/false);
+
+  std::vector<size_t> side_a;
+  std::vector<size_t> side_b;
+  for (size_t i = 0; i < data.groups.size(); ++i) {
+    (data.groups[i].key.language == data.lang_a ? side_a : side_b)
+        .push_back(i);
+  }
+  std::map<std::pair<size_t, size_t>, double> scores;
+  std::map<size_t, double> best;
+  for (size_t i : side_a) {
+    for (size_t j : side_b) {
+      double p = Score(data, data.groups[i], data.groups[j]);
+      scores[{i, j}] = p;
+      best[i] = std::max(best[i], p);
+      best[j] = std::max(best[j], p);
+    }
+  }
+  for (const auto& [key, p] : scores) {
+    if (p < config_.select_threshold) continue;
+    if (config_.reciprocal &&
+        (p < best[key.first] || p < best[key.second])) {
+      continue;
+    }
+    matches.AddPair(data.groups[key.first].key, data.groups[key.second].key);
+  }
+  return matches;
+}
+
+}  // namespace baselines
+}  // namespace wikimatch

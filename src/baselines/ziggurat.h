@@ -1,0 +1,84 @@
+// Ziggurat-style baseline (Adar, Skinner, Weld — WSDM 2009): a
+// self-supervised classifier over cross-language attribute pairs. The
+// paper compares against it only qualitatively ("we were not able to
+// obtain the code or the datasets"); this reimplementation follows the
+// published description: a feature vector per pair (name n-gram and edit
+// similarities, value equality/overlap features, link features), training
+// examples selected *heuristically* (no human labels — pairs with equal
+// names or near-identical values are positives, low-evidence random pairs
+// negatives), and a logistic classifier applied to all pairs.
+//
+// Its documented weakness — reliance on syntactic similarity limits it to
+// languages with similar roots — falls out naturally: half the features
+// are string similarities over attribute names, which carry no signal for
+// Vietnamese-English.
+
+#ifndef WIKIMATCH_BASELINES_ZIGGURAT_H_
+#define WIKIMATCH_BASELINES_ZIGGURAT_H_
+
+#include <vector>
+
+#include "eval/match_set.h"
+#include "la/logistic.h"
+#include "match/schema_builder.h"
+#include "util/result.h"
+
+namespace wikimatch {
+namespace baselines {
+
+/// \brief Ziggurat configuration.
+struct ZigguratConfig {
+  /// Self-supervision heuristics: a pair is a positive example when its
+  /// folded names are equal or its raw value cosine exceeds this...
+  double positive_value_cosine = 0.75;
+  /// ...and a negative example when the value cosine is below this.
+  double negative_value_cosine = 0.05;
+  /// Cap on harvested examples (the original used 20k/40k).
+  size_t max_positives = 20000;
+  size_t max_negatives = 40000;
+  /// Classification threshold on P(match).
+  double select_threshold = 0.5;
+  /// Keep mutual-best pairs only.
+  bool reciprocal = true;
+  la::LogisticOptions training;
+  uint64_t seed = 0x216;
+};
+
+/// \brief Trained-classifier matcher. Train() once over any set of type
+/// pairs (Ziggurat is cross-domain), then Match() per type pair.
+class ZigguratMatcher {
+ public:
+  explicit ZigguratMatcher(ZigguratConfig config = {});
+
+  /// \brief Harvests heuristic examples from the given type pairs and
+  /// trains the classifier. Fails if the heuristics find only one class.
+  util::Status Train(const std::vector<const match::TypePairData*>& types);
+
+  /// \brief Classifies every cross-language pair of `data`.
+  util::Result<eval::MatchSet> Match(const match::TypePairData& data) const;
+
+  /// \brief P(match) for one pair; exposed for tests.
+  double Score(const match::TypePairData& data,
+               const match::AttributeGroup& a,
+               const match::AttributeGroup& b) const;
+
+  /// \brief The feature vector (14 features; the original used 26).
+  static std::vector<double> Features(const match::TypePairData& data,
+                                      const match::AttributeGroup& a,
+                                      const match::AttributeGroup& b);
+
+  bool trained() const { return model_.trained(); }
+  size_t num_positives() const { return num_positives_; }
+  size_t num_negatives() const { return num_negatives_; }
+
+ private:
+  ZigguratConfig config_;
+  la::LogisticRegression model_;
+  size_t num_positives_ = 0;
+  size_t num_negatives_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_BASELINES_ZIGGURAT_H_

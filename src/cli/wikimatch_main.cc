@@ -1,0 +1,351 @@
+// wikimatch — command-line front end.
+//
+//   wikimatch match --dump en=enwiki.xml --dump pt=ptwiki.xml --pair pt:en
+//       [--tsim 0.6] [--tlsi 0.1] [--tsv matches.tsv]
+//     Ingests MediaWiki XML dumps, aligns infobox schemas for the language
+//     pair, prints match clusters per entity type (optionally as TSV).
+//
+//   wikimatch types --dump ... --pair pt:en
+//     Prints the cross-language entity-type mapping only.
+//
+//   wikimatch query --dump ... --lang pt [--translate pt:en] "<c-query>"
+//     Evaluates a c-query; with --translate, first derives attribute
+//     correspondences and rewrites the query into the target language.
+//
+//   wikimatch demo [scale]
+//     Self-contained demonstration on a generated corpus.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "match/match_io.h"
+#include "match/pipeline.h"
+#include "match/type_matcher.h"
+#include "query/c_query.h"
+#include "query/evaluator.h"
+#include "query/translator.h"
+#include "synth/generator.h"
+#include "util/logging.h"
+#include "wiki/corpus.h"
+#include "wiki/dump_reader.h"
+#include "wiki/wikitext_parser.h"
+
+using namespace wikimatch;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> dumps;  // lang, path
+  std::string pair_a;
+  std::string pair_b;
+  std::string lang;
+  std::string query_text;
+  std::string tsv_path;
+  std::string save_path;
+  std::string matches_path;
+  double t_sim = 0.6;
+  double t_lsi = 0.1;
+  double scale = 0.1;
+  bool translate = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: wikimatch <match|types|query|demo> [options]\n"
+               "  --dump <lang>=<path>   add a MediaWiki XML dump (repeat)\n"
+               "  --pair <a>:<b>         language pair, e.g. pt:en\n"
+               "  --lang <code>          query language\n"
+               "  --translate            translate the query across --pair\n"
+               "  --tsim / --tlsi <v>    WikiMatch thresholds\n"
+               "  --tsv <path>           write matches as TSV\n"
+               "  --save-matches <path>  persist match clusters (match)\n"
+               "  --matches <path>       reuse persisted clusters (query)\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--dump") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr) return false;
+      args->dumps.emplace_back(std::string(v, eq), std::string(eq + 1));
+    } else if (arg == "--pair") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) return false;
+      args->pair_a = std::string(v, colon);
+      args->pair_b = colon + 1;
+    } else if (arg == "--lang") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->lang = v;
+    } else if (arg == "--tsv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->tsv_path = v;
+    } else if (arg == "--save-matches") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->save_path = v;
+    } else if (arg == "--matches") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->matches_path = v;
+    } else if (arg == "--tsim") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->t_sim = std::atof(v);
+    } else if (arg == "--tlsi") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->t_lsi = std::atof(v);
+    } else if (arg == "--translate") {
+      args->translate = true;
+    } else if (arg[0] != '-') {
+      if (args->command == "demo") {
+        args->scale = std::atof(arg.c_str());
+      } else {
+        args->query_text = arg;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Loads all --dump files into a finalized corpus.
+util::Result<wiki::Corpus> LoadCorpus(const Args& args) {
+  wiki::Corpus corpus;
+  wiki::WikitextParser parser;
+  for (const auto& [lang, path] : args.dumps) {
+    auto pages = wiki::ReadDumpFile(path);
+    if (!pages.ok()) return pages.status().WithContext(path);
+    auto added = corpus.IngestDump(*pages, lang, parser);
+    if (!added.ok()) return added.status().WithContext(path);
+    std::fprintf(stderr, "loaded %zu %s articles from %s\n", *added,
+                 lang.c_str(), path.c_str());
+  }
+  corpus.Finalize();
+  return corpus;
+}
+
+int RunMatch(const Args& args, bool types_only) {
+  if (args.dumps.empty() || args.pair_a.empty()) {
+    Usage();
+    return 2;
+  }
+  auto corpus = LoadCorpus(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  match::MatchPipeline pipeline(&*corpus);
+  match::PipelineOptions options;
+  options.matcher.t_sim = args.t_sim;
+  options.matcher.t_lsi = args.t_lsi;
+  auto result = pipeline.Run(args.pair_a, args.pair_b, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# entity-type mapping (%s -> %s)\n", args.pair_a.c_str(),
+              args.pair_b.c_str());
+  for (const auto& tm : result->type_matches) {
+    std::printf("%s\t%s\t%zu votes\t%.2f\n", tm.type_a.c_str(),
+                tm.type_b.c_str(), tm.votes, tm.confidence);
+  }
+  if (types_only) return 0;
+
+  std::FILE* tsv = nullptr;
+  if (!args.tsv_path.empty()) {
+    tsv = std::fopen(args.tsv_path.c_str(), "w");
+    if (tsv == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.tsv_path.c_str());
+      return 1;
+    }
+    std::fprintf(tsv, "type_a\ttype_b\tlang_a\tattr_a\tlang_b\tattr_b\n");
+  }
+  for (const auto& tr : result->per_type) {
+    std::printf("\n# %s / %s (%zu dual infoboxes)\n", tr.type_a.c_str(),
+                tr.type_b.c_str(), tr.num_duals);
+    for (const auto& cluster : tr.alignment.matches.Clusters()) {
+      std::string line;
+      for (const auto& attr : cluster) {
+        if (!line.empty()) line += " ~ ";
+        line += attr.language + ":" + attr.name;
+      }
+      std::printf("%s\n", line.c_str());
+    }
+    if (tsv != nullptr) {
+      for (const auto& [a, b] : tr.alignment.matches.CrossLanguagePairs(
+               args.pair_a, args.pair_b)) {
+        std::fprintf(tsv, "%s\t%s\t%s\t%s\t%s\t%s\n", tr.type_a.c_str(),
+                     tr.type_b.c_str(), a.language.c_str(), a.name.c_str(),
+                     b.language.c_str(), b.name.c_str());
+      }
+    }
+  }
+  if (tsv != nullptr) std::fclose(tsv);
+  if (!args.save_path.empty()) {
+    match::TypeMatchSets sets;
+    for (const auto& tr : result->per_type) {
+      sets.emplace(tr.type_b, tr.alignment.matches);
+    }
+    auto saved = match::SaveMatchSets(sets, args.save_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved matches to %s\n", args.save_path.c_str());
+  }
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  if (args.dumps.empty() || args.lang.empty() || args.query_text.empty()) {
+    Usage();
+    return 2;
+  }
+  auto corpus = LoadCorpus(args);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = query::ParseCQuery(args.query_text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "query: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  query::CQuery q = std::move(parsed).ValueOrDie();
+  std::string eval_lang = args.lang;
+
+  std::map<std::string, eval::MatchSet> per_type_storage;
+  if (args.translate) {
+    if (args.pair_a.empty()) {
+      Usage();
+      return 2;
+    }
+    match::MatchPipeline pipeline(&*corpus);
+    std::vector<match::TypeMatch> type_matches;
+    if (!args.matches_path.empty()) {
+      auto loaded = match::LoadMatchSets(args.matches_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      per_type_storage = std::move(loaded).ValueOrDie();
+      match::TypeMatcher type_matcher;
+      type_matches = type_matcher.Match(*corpus, args.pair_a, args.pair_b);
+    } else {
+      auto result = pipeline.Run(args.pair_a, args.pair_b);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      type_matches = result->type_matches;
+      for (const auto& tr : result->per_type) {
+        per_type_storage.emplace(tr.type_b, tr.alignment.matches);
+      }
+    }
+    std::map<std::string, const eval::MatchSet*> per_type;
+    for (const auto& [type_b, matches] : per_type_storage) {
+      per_type.emplace(type_b, &matches);
+    }
+    query::QueryTranslator translator(args.pair_a, args.pair_b,
+                                      type_matches, per_type,
+                                      &pipeline.dictionary());
+    query::TranslationReport report;
+    auto translated = translator.Translate(q, &report);
+    if (!translated.ok()) {
+      std::fprintf(stderr, "translation: %s\n",
+                   translated.status().ToString().c_str());
+      return 1;
+    }
+    q = std::move(translated).ValueOrDie();
+    eval_lang = args.pair_b;
+    std::printf("# translated query: %s (%zu translated, %zu relaxed)\n",
+                q.ToString().c_str(), report.constraints_translated,
+                report.constraints_relaxed);
+  }
+
+  query::QueryEvaluator evaluator(&*corpus, eval_lang);
+  auto answers = evaluator.Run(q);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < answers->size(); ++i) {
+    const auto& answer = (*answers)[i];
+    std::printf("%2zu. %s", i + 1,
+                corpus->Get(answer.article).title.c_str());
+    for (const auto& projection : answer.projections) {
+      std::printf("\t%s", projection.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunDemo(const Args& args) {
+  std::printf("Generating demo corpus (scale %.2f)...\n", args.scale);
+  synth::CorpusGenerator generator(
+      synth::GeneratorOptions::Paper(args.scale));
+  auto gc = generator.Generate();
+  if (!gc.ok()) {
+    std::fprintf(stderr, "%s\n", gc.status().ToString().c_str());
+    return 1;
+  }
+  match::MatchPipeline pipeline(&gc->corpus);
+  auto result = pipeline.Run("pt", "en");
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& tr : result->per_type) {
+    std::printf("\n# %s / %s\n", tr.type_a.c_str(), tr.type_b.c_str());
+    size_t shown = 0;
+    for (const auto& cluster : tr.alignment.matches.Clusters()) {
+      if (shown++ >= 6) break;
+      std::string line;
+      for (const auto& attr : cluster) {
+        if (!line.empty()) line += " ~ ";
+        line += attr.language + ":" + attr.name;
+      }
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  util::SetLogLevel(util::LogLevel::kWarning);
+  if (args.command == "match") return RunMatch(args, false);
+  if (args.command == "types") return RunMatch(args, true);
+  if (args.command == "query") return RunQuery(args);
+  if (args.command == "demo") return RunDemo(args);
+  Usage();
+  return 2;
+}

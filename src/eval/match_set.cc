@@ -1,0 +1,158 @@
+#include "eval/match_set.h"
+
+namespace wikimatch {
+namespace eval {
+
+AttrKey MatchSet::Find(const AttrKey& a) const {
+  auto it = parent_.find(a);
+  if (it == parent_.end()) return a;
+  if (it->second == a) return a;
+  AttrKey root = Find(it->second);
+  parent_[a] = root;  // Path compression.
+  return root;
+}
+
+void MatchSet::Union(const AttrKey& a, const AttrKey& b) {
+  if (parent_.find(a) == parent_.end()) parent_[a] = a;
+  if (parent_.find(b) == parent_.end()) parent_[b] = b;
+  AttrKey ra = Find(a);
+  AttrKey rb = Find(b);
+  if (ra == rb) return;
+  // Deterministic: smaller key becomes the root.
+  if (rb < ra) std::swap(ra, rb);
+  parent_[rb] = ra;
+}
+
+void MatchSet::AddCluster(const std::vector<AttrKey>& attrs) {
+  if (attrs.empty()) return;
+  if (transitive_) {
+    if (parent_.find(attrs[0]) == parent_.end()) parent_[attrs[0]] = attrs[0];
+    for (size_t i = 1; i < attrs.size(); ++i) Union(attrs[0], attrs[i]);
+    return;
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      AddPair(attrs[i], attrs[j]);
+    }
+  }
+}
+
+void MatchSet::AddPair(const AttrKey& a, const AttrKey& b) {
+  if (transitive_) {
+    Union(a, b);
+    return;
+  }
+  pairs_[a].insert(b);
+  pairs_[b].insert(a);
+}
+
+bool MatchSet::AreMatched(const AttrKey& a, const AttrKey& b) const {
+  if (transitive_) {
+    if (parent_.find(a) == parent_.end() ||
+        parent_.find(b) == parent_.end()) {
+      return false;
+    }
+    return Find(a) == Find(b);
+  }
+  auto it = pairs_.find(a);
+  return it != pairs_.end() && it->second.count(b) > 0;
+}
+
+bool MatchSet::Contains(const AttrKey& a) const {
+  if (transitive_) return parent_.find(a) != parent_.end();
+  return pairs_.find(a) != pairs_.end();
+}
+
+std::set<AttrKey> MatchSet::ClusterOf(const AttrKey& a) const {
+  std::set<AttrKey> out;
+  if (!Contains(a)) return out;
+  if (transitive_) {
+    AttrKey root = Find(a);
+    for (const auto& [key, p] : parent_) {
+      if (Find(key) == root) out.insert(key);
+    }
+    return out;
+  }
+  out.insert(a);
+  for (const auto& partner : pairs_.at(a)) out.insert(partner);
+  return out;
+}
+
+std::vector<std::set<AttrKey>> MatchSet::Clusters() const {
+  if (transitive_) {
+    std::map<AttrKey, std::set<AttrKey>> by_root;
+    for (const auto& [key, p] : parent_) by_root[Find(key)].insert(key);
+    std::vector<std::set<AttrKey>> out;
+    out.reserve(by_root.size());
+    for (auto& [root, members] : by_root) out.push_back(std::move(members));
+    return out;
+  }
+  // Pairwise mode: connected components of the adjacency graph.
+  std::set<AttrKey> visited;
+  std::vector<std::set<AttrKey>> out;
+  for (const auto& [key, partners] : pairs_) {
+    if (visited.count(key) > 0) continue;
+    std::set<AttrKey> component;
+    std::vector<AttrKey> stack = {key};
+    while (!stack.empty()) {
+      AttrKey cur = stack.back();
+      stack.pop_back();
+      if (!component.insert(cur).second) continue;
+      visited.insert(cur);
+      auto it = pairs_.find(cur);
+      if (it == pairs_.end()) continue;
+      for (const auto& next : it->second) {
+        if (component.count(next) == 0) stack.push_back(next);
+      }
+    }
+    out.push_back(std::move(component));
+  }
+  return out;
+}
+
+std::vector<std::pair<AttrKey, AttrKey>> MatchSet::CrossLanguagePairs(
+    const std::string& lang_a, const std::string& lang_b) const {
+  std::vector<std::pair<AttrKey, AttrKey>> out;
+  if (transitive_) {
+    for (const auto& cluster : Clusters()) {
+      for (const auto& a : cluster) {
+        if (a.language != lang_a) continue;
+        for (const auto& b : cluster) {
+          if (b.language != lang_b) continue;
+          out.emplace_back(a, b);
+        }
+      }
+    }
+    return out;
+  }
+  for (const auto& [a, partners] : pairs_) {
+    if (a.language != lang_a) continue;
+    for (const auto& b : partners) {
+      if (b.language == lang_b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+std::set<AttrKey> MatchSet::AttributesWithCorrespondents(
+    const std::string& lang, const std::string& other_lang) const {
+  std::set<AttrKey> out;
+  for (const auto& [a, b] : CrossLanguagePairs(lang, other_lang)) {
+    out.insert(a);
+  }
+  return out;
+}
+
+std::set<AttrKey> MatchSet::CorrespondentsOf(
+    const AttrKey& a, const std::string& other_lang) const {
+  std::set<AttrKey> out;
+  for (const auto& member : ClusterOf(a)) {
+    if (member.language == other_lang && !(member == a)) out.insert(member);
+  }
+  return out;
+}
+
+size_t MatchSet::NumClusters() const { return Clusters().size(); }
+
+}  // namespace eval
+}  // namespace wikimatch

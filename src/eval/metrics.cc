@@ -1,0 +1,171 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace wikimatch {
+namespace eval {
+
+Prf Prf::Of(double p, double r) {
+  Prf out;
+  out.precision = p;
+  out.recall = r;
+  out.f1 = (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  return out;
+}
+
+namespace {
+
+double FreqOf(const AttrFrequencies& freq, const AttrKey& a) {
+  auto it = freq.find(a);
+  return it == freq.end() ? 1.0 : it->second;
+}
+
+}  // namespace
+
+Prf WeightedPrf(const MatchSet& derived, const MatchSet& truth,
+                const AttrFrequencies& freq, const std::string& lang_l,
+                const std::string& lang_lp) {
+  // --- Precision over A_C: lang_l attributes with derived correspondents.
+  std::set<AttrKey> ac = derived.AttributesWithCorrespondents(lang_l, lang_lp);
+  double precision = 0.0;
+  if (!ac.empty()) {
+    double total_w = 0.0;
+    for (const auto& a : ac) total_w += FreqOf(freq, a);
+    for (const auto& a : ac) {
+      std::set<AttrKey> c = derived.CorrespondentsOf(a, lang_lp);
+      double inner_w = 0.0;
+      for (const auto& b : c) inner_w += FreqOf(freq, b);
+      double pr = 0.0;
+      if (inner_w > 0.0) {
+        for (const auto& b : c) {
+          if (truth.AreMatched(a, b)) pr += FreqOf(freq, b) / inner_w;
+        }
+      }
+      precision += FreqOf(freq, a) / total_w * pr;
+    }
+  }
+
+  // --- Recall over A_G: lang_l attributes with true correspondents.
+  std::set<AttrKey> ag = truth.AttributesWithCorrespondents(lang_l, lang_lp);
+  double recall = 0.0;
+  if (!ag.empty()) {
+    double total_w = 0.0;
+    for (const auto& a : ag) total_w += FreqOf(freq, a);
+    for (const auto& a : ag) {
+      std::set<AttrKey> cg = truth.CorrespondentsOf(a, lang_lp);
+      double inner_w = 0.0;
+      for (const auto& b : cg) inner_w += FreqOf(freq, b);
+      double rc = 0.0;
+      if (inner_w > 0.0) {
+        for (const auto& b : cg) {
+          if (derived.AreMatched(a, b)) rc += FreqOf(freq, b) / inner_w;
+        }
+      }
+      recall += FreqOf(freq, a) / total_w * rc;
+    }
+  }
+  return Prf::Of(precision, recall);
+}
+
+Prf MacroPrf(const MatchSet& derived, const MatchSet& truth,
+             const std::string& lang_l, const std::string& lang_lp) {
+  auto derived_pairs = derived.CrossLanguagePairs(lang_l, lang_lp);
+  auto truth_pairs = truth.CrossLanguagePairs(lang_l, lang_lp);
+  std::set<std::pair<AttrKey, AttrKey>> truth_set(truth_pairs.begin(),
+                                                  truth_pairs.end());
+  size_t correct = 0;
+  for (const auto& pair : derived_pairs) correct += truth_set.count(pair);
+  double p = derived_pairs.empty()
+                 ? 0.0
+                 : static_cast<double>(correct) / derived_pairs.size();
+  double r = truth_pairs.empty()
+                 ? 0.0
+                 : static_cast<double>(correct) / truth_pairs.size();
+  return Prf::Of(p, r);
+}
+
+Prf AveragePrf(const std::vector<Prf>& rows) {
+  Prf out;
+  if (rows.empty()) return out;
+  for (const auto& row : rows) {
+    out.precision += row.precision;
+    out.recall += row.recall;
+    out.f1 += row.f1;
+  }
+  out.precision /= static_cast<double>(rows.size());
+  out.recall /= static_cast<double>(rows.size());
+  out.f1 /= static_cast<double>(rows.size());
+  return out;
+}
+
+double MeanAveragePrecision(
+    const std::vector<std::pair<AttrKey, AttrKey>>& ranked,
+    const MatchSet& truth, const std::string& lang_l) {
+  // Group the ranking per lang_l attribute, preserving order.
+  std::map<AttrKey, std::vector<std::pair<AttrKey, AttrKey>>> per_attr;
+  for (const auto& pair : ranked) {
+    if (pair.first.language == lang_l) per_attr[pair.first].push_back(pair);
+  }
+  double sum_ap = 0.0;
+  size_t num_queries = 0;
+  for (const auto& [attr, pairs] : per_attr) {
+    size_t correct_seen = 0;
+    double ap = 0.0;
+    for (size_t rank = 0; rank < pairs.size(); ++rank) {
+      if (truth.AreMatched(pairs[rank].first, pairs[rank].second)) {
+        ++correct_seen;
+        ap += static_cast<double>(correct_seen) /
+              static_cast<double>(rank + 1);
+      }
+    }
+    if (correct_seen == 0) continue;  // No relevant items: skip the query.
+    sum_ap += ap / static_cast<double>(correct_seen);
+    ++num_queries;
+  }
+  return num_queries == 0 ? 0.0 : sum_ap / static_cast<double>(num_queries);
+}
+
+std::vector<double> CumulativeGain(const std::vector<double>& scores) {
+  std::vector<double> out(scores.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    acc += scores[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double SchemaOverlap(const std::vector<std::string>& schema_a,
+                     const std::vector<std::string>& schema_b,
+                     const std::string& lang_a, const std::string& lang_b,
+                     const MatchSet& truth) {
+  if (schema_a.empty() && schema_b.empty()) return 0.0;
+  size_t matched_a = 0;
+  for (const auto& name_a : schema_a) {
+    AttrKey a{lang_a, name_a};
+    for (const auto& name_b : schema_b) {
+      if (truth.AreMatched(a, AttrKey{lang_b, name_b})) {
+        ++matched_a;
+        break;
+      }
+    }
+  }
+  size_t matched_b = 0;
+  for (const auto& name_b : schema_b) {
+    AttrKey b{lang_b, name_b};
+    for (const auto& name_a : schema_a) {
+      if (truth.AreMatched(AttrKey{lang_a, name_a}, b)) {
+        ++matched_b;
+        break;
+      }
+    }
+  }
+  double inter = (static_cast<double>(matched_a) + matched_b) / 2.0;
+  double uni =
+      static_cast<double>(schema_a.size() + schema_b.size()) - inter;
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+}  // namespace eval
+}  // namespace wikimatch

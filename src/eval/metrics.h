@@ -1,0 +1,83 @@
+// Evaluation metrics from the paper.
+//
+//  * Weighted precision / recall / F-measure (Section 4, Equations 1-4):
+//    attribute-frequency-weighted micro-averaging.
+//  * Macro-averaged P/R/F (Appendix B, Table 6): distinct name pairs.
+//  * Mean average precision of candidate orderings (Appendix B, Table 7).
+//  * Cumulative gain for the query case study (Section 5, Figure 4).
+//  * Schema overlap (Appendix A, Table 5).
+
+#ifndef WIKIMATCH_EVAL_METRICS_H_
+#define WIKIMATCH_EVAL_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/match_set.h"
+
+namespace wikimatch {
+namespace eval {
+
+/// \brief Precision / recall / F-measure triple.
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+
+  /// Computes f1 from precision and recall (0 when both are 0).
+  static Prf Of(double p, double r);
+};
+
+/// \brief Attribute occurrence counts |a_i|: how many infoboxes of the type
+/// (in the attribute's language) contain the attribute.
+using AttrFrequencies = std::map<AttrKey, double>;
+
+/// \brief Weighted precision/recall/F of `derived` against `truth` for the
+/// ordered language pair (lang_l, lang_lp), per Equations 1-4.
+///
+/// Precision weighs each matched attribute a_i of lang_l by its frequency
+/// and, inside its correspondence set c(a_i), weighs each a'_j by frequency;
+/// correct(a_i, a'_j) tests membership in `truth`. Recall does the same over
+/// the ground-truth correspondents cG(a_i), testing whether each was
+/// derived. Attributes missing from `freq` count with frequency 1.
+Prf WeightedPrf(const MatchSet& derived, const MatchSet& truth,
+                const AttrFrequencies& freq, const std::string& lang_l,
+                const std::string& lang_lp);
+
+/// \brief Macro P/R/F: counts distinct cross-language attribute-name pairs
+/// (Appendix B): P = |C ∩ G| / |C|, R = |C ∩ G| / |G|.
+Prf MacroPrf(const MatchSet& derived, const MatchSet& truth,
+             const std::string& lang_l, const std::string& lang_lp);
+
+/// \brief Element-wise average of a set of Prf rows (the "Avg" table rows).
+Prf AveragePrf(const std::vector<Prf>& rows);
+
+/// \brief Mean average precision of a ranked candidate-pair list
+/// (Appendix B). For each lang_l attribute with at least one correct match
+/// in `truth`, computes average precision over its ranked correspondents
+/// and averages across attributes.
+double MeanAveragePrecision(
+    const std::vector<std::pair<AttrKey, AttrKey>>& ranked,
+    const MatchSet& truth, const std::string& lang_l);
+
+/// \brief Cumulative gain: prefix sums of relevance scores (Figure 4).
+/// Returns CG@1..CG@k for k = scores.size().
+std::vector<double> CumulativeGain(const std::vector<double>& scores);
+
+/// \brief Schema overlap of one dual-language infobox pair (Appendix A).
+///
+/// `schema_a` and `schema_b` are the attribute names of the two infoboxes;
+/// an attribute is in the intersection when it has a ground-truth
+/// correspondent present on the other side. Overlap = |inter| / |union|
+/// with |inter| = (matched_a + matched_b) / 2 and
+/// |union| = |S| + |S'| - |inter|. Returns 0 for two empty schemas.
+double SchemaOverlap(const std::vector<std::string>& schema_a,
+                     const std::vector<std::string>& schema_b,
+                     const std::string& lang_a, const std::string& lang_b,
+                     const MatchSet& truth);
+
+}  // namespace eval
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_EVAL_METRICS_H_

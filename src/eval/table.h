@@ -1,0 +1,36 @@
+// ASCII table renderer for the benchmark harnesses: fixed-width columns,
+// right-aligned numerics, optional markdown-style separators.
+
+#ifndef WIKIMATCH_EVAL_TABLE_H_
+#define WIKIMATCH_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace wikimatch {
+namespace eval {
+
+/// \brief Simple row/column text table.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// \brief Appends a row; missing cells render empty, extras are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+
+  /// \brief Renders with a header separator, columns padded to content.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eval
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_EVAL_TABLE_H_

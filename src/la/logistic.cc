@@ -1,0 +1,106 @@
+#include "la/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wikimatch {
+namespace la {
+
+namespace {
+inline double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+util::Status LogisticRegression::Train(
+    const std::vector<LabeledExample>& examples,
+    const LogisticOptions& options) {
+  if (examples.empty()) {
+    return util::Status::InvalidArgument("no training examples");
+  }
+  const size_t dim = examples[0].features.size();
+  if (dim == 0) return util::Status::InvalidArgument("empty feature vector");
+  bool has_pos = false;
+  bool has_neg = false;
+  for (const auto& ex : examples) {
+    if (ex.features.size() != dim) {
+      return util::Status::InvalidArgument("inconsistent feature dimension");
+    }
+    (ex.label ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg) {
+    return util::Status::InvalidArgument("training needs both classes");
+  }
+
+  // Standardization statistics.
+  mean_.assign(dim, 0.0);
+  stddev_.assign(dim, 1.0);
+  if (options.standardize) {
+    for (const auto& ex : examples) {
+      for (size_t d = 0; d < dim; ++d) mean_[d] += ex.features[d];
+    }
+    for (auto& m : mean_) m /= static_cast<double>(examples.size());
+    std::vector<double> var(dim, 0.0);
+    for (const auto& ex : examples) {
+      for (size_t d = 0; d < dim; ++d) {
+        double delta = ex.features[d] - mean_[d];
+        var[d] += delta * delta;
+      }
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      stddev_[d] =
+          std::sqrt(var[d] / static_cast<double>(examples.size()));
+      if (stddev_[d] < 1e-9) stddev_[d] = 1.0;
+    }
+  }
+
+  auto scaled = [&](const LabeledExample& ex, size_t d) {
+    return (ex.features[d] - mean_[d]) / stddev_[d];
+  };
+
+  weights_.assign(dim + 1, 0.0);
+  util::Rng rng(options.seed);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      size_t end = std::min(order.size(), start + options.batch_size);
+      std::vector<double> grad(dim + 1, 0.0);
+      for (size_t k = start; k < end; ++k) {
+        const LabeledExample& ex = examples[order[k]];
+        double z = weights_[dim];
+        for (size_t d = 0; d < dim; ++d) z += weights_[d] * scaled(ex, d);
+        double err = Sigmoid(z) - (ex.label ? 1.0 : 0.0);
+        for (size_t d = 0; d < dim; ++d) grad[d] += err * scaled(ex, d);
+        grad[dim] += err;
+      }
+      double inv = 1.0 / static_cast<double>(end - start);
+      for (size_t d = 0; d <= dim; ++d) {
+        double l2 = d < dim ? options.l2 * weights_[d] : 0.0;
+        weights_[d] -= options.learning_rate * (grad[d] * inv + l2);
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+double LogisticRegression::Predict(const std::vector<double>& features) const {
+  if (weights_.empty() || features.size() + 1 != weights_.size()) return 0.5;
+  const size_t dim = features.size();
+  double z = weights_[dim];
+  for (size_t d = 0; d < dim; ++d) {
+    z += weights_[d] * (features[d] - mean_[d]) / stddev_[d];
+  }
+  return Sigmoid(z);
+}
+
+}  // namespace la
+}  // namespace wikimatch

@@ -1,0 +1,63 @@
+// Logistic regression trained by mini-batch gradient descent with L2
+// regularization — the learning substrate for the Ziggurat-style
+// self-supervised baseline (Adar et al., WSDM 2009).
+
+#ifndef WIKIMATCH_LA_LOGISTIC_H_
+#define WIKIMATCH_LA_LOGISTIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace la {
+
+/// \brief Training options.
+struct LogisticOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-3;
+  int epochs = 200;
+  size_t batch_size = 32;
+  uint64_t seed = 0x10615;
+  /// Standardize features to zero mean / unit variance before training
+  /// (the scaler is stored and applied at prediction time).
+  bool standardize = true;
+};
+
+/// \brief One labeled example.
+struct LabeledExample {
+  std::vector<double> features;
+  bool label = false;
+};
+
+/// \brief Binary logistic-regression classifier.
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  /// \brief Trains on `examples`. Fails when examples are empty, have
+  /// inconsistent dimensionality, or contain a single class.
+  util::Status Train(const std::vector<LabeledExample>& examples,
+                     const LogisticOptions& options = {});
+
+  /// \brief P(label = true | features). Requires a trained model.
+  double Predict(const std::vector<double>& features) const;
+
+  /// \brief True iff Train succeeded.
+  bool trained() const { return !weights_.empty(); }
+
+  /// \brief Learned weights (post-standardization space), bias last.
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;  // dim weights + bias at index dim
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace la
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_LA_LOGISTIC_H_

@@ -1,0 +1,87 @@
+// Dense row-major matrix and the small set of operations the LSI pipeline
+// needs. Matrices in this project are modest (attributes x dual-language
+// infoboxes), so clarity beats blocking/vectorization tricks.
+
+#ifndef WIKIMATCH_LA_MATRIX_H_
+#define WIKIMATCH_LA_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wikimatch {
+namespace la {
+
+/// \brief Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data (rows of equal length).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of order n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw storage (row-major).
+  const std::vector<double>& data() const { return data_; }
+
+  /// \brief this * other. Requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// \brief Transpose copy.
+  Matrix Transposed() const;
+
+  /// \brief this * this^T (symmetric Gram matrix of the rows).
+  Matrix GramOfRows() const;
+
+  /// \brief Copy of row r.
+  std::vector<double> Row(size_t r) const;
+
+  /// \brief Copy of column c.
+  std::vector<double> Col(size_t c) const;
+
+  /// \brief Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// \brief Max |a_ij - b_ij|; requires equal shapes.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// \brief Human-readable dump for debugging/tests.
+  std::string ToString(int precision = 3) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// \brief Dot product of equal-length dense vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Euclidean norm.
+double Norm(const std::vector<double>& v);
+
+/// \brief Cosine similarity of dense vectors; 0 if either has zero norm.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace la
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_LA_MATRIX_H_

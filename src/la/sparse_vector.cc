@@ -1,0 +1,63 @@
+#include "la/sparse_vector.h"
+
+#include <cmath>
+
+namespace wikimatch {
+namespace la {
+
+double SparseVector::Norm() const {
+  double s = 0.0;
+  for (const auto& [id, v] : entries_) s += v * v;
+  return std::sqrt(s);
+}
+
+double SparseVector::Sum() const {
+  double s = 0.0;
+  for (const auto& [id, v] : entries_) s += v;
+  return s;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  // Iterate over the smaller map.
+  const SparseVector* small = this;
+  const SparseVector* big = &other;
+  if (small->entries_.size() > big->entries_.size()) std::swap(small, big);
+  double s = 0.0;
+  for (const auto& [id, v] : small->entries_) {
+    auto it = big->entries_.find(id);
+    if (it != big->entries_.end()) s += v * it->second;
+  }
+  return s;
+}
+
+double SparseVector::Cosine(const SparseVector& other) const {
+  double na = Norm();
+  double nb = other.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(other) / (na * nb);
+}
+
+SparseVector SparseVector::Normalized() const {
+  double n = Norm();
+  SparseVector out;
+  if (n == 0.0) return out;
+  for (const auto& [id, v] : entries_) out.Set(id, v / n);
+  return out;
+}
+
+uint32_t TermDictionary::GetOrAdd(const std::string& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(term, id);
+  return id;
+}
+
+uint32_t TermDictionary::Lookup(const std::string& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+}  // namespace la
+}  // namespace wikimatch

@@ -1,0 +1,83 @@
+// Sparse term vectors: (term-id -> weight), the representation used by the
+// value-similarity and link-structure features.
+
+#ifndef WIKIMATCH_LA_SPARSE_VECTOR_H_
+#define WIKIMATCH_LA_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wikimatch {
+namespace la {
+
+/// \brief Sparse vector keyed by uint32 term ids, values double.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// \brief Adds `delta` to component `id`.
+  void Add(uint32_t id, double delta) { entries_[id] += delta; }
+
+  /// \brief Sets component `id` to `value`.
+  void Set(uint32_t id, double value) { entries_[id] = value; }
+
+  /// \brief Value of component `id` (0 if absent).
+  double Get(uint32_t id) const {
+    auto it = entries_.find(id);
+    return it == entries_.end() ? 0.0 : it->second;
+  }
+
+  size_t NumNonZero() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// \brief Euclidean norm.
+  double Norm() const;
+
+  /// \brief Sum of components (e.g. total term frequency).
+  double Sum() const;
+
+  /// \brief Dot product with another sparse vector.
+  double Dot(const SparseVector& other) const;
+
+  /// \brief Cosine similarity; 0 if either vector has zero norm.
+  double Cosine(const SparseVector& other) const;
+
+  /// \brief L2-normalized copy (zero vector stays zero).
+  SparseVector Normalized() const;
+
+  /// \brief Iteration support (ordered by id for determinism).
+  const std::map<uint32_t, double>& entries() const { return entries_; }
+
+ private:
+  std::map<uint32_t, double> entries_;
+};
+
+/// \brief Interns strings to dense uint32 ids (shared term space for a set
+/// of vectors being compared).
+class TermDictionary {
+ public:
+  /// \brief Id of `term`, creating one if new.
+  uint32_t GetOrAdd(const std::string& term);
+
+  /// \brief Id of `term`, or UINT32_MAX when unknown.
+  uint32_t Lookup(const std::string& term) const;
+
+  /// \brief The interned term for `id`.
+  const std::string& TermOf(uint32_t id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace la
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_LA_SPARSE_VECTOR_H_

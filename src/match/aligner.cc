@@ -1,0 +1,212 @@
+#include "match/aligner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace match {
+
+AttributeAligner::AttributeAligner(MatcherConfig config)
+    : config_(std::move(config)) {}
+
+double AttributeAligner::ValueSimilarity(const AttributeGroup& a,
+                                         const AttributeGroup& b) {
+  return a.values.Cosine(b.values);
+}
+
+double AttributeAligner::LinkSimilarity(const AttributeGroup& a,
+                                        const AttributeGroup& b) {
+  return a.links.Cosine(b.links);
+}
+
+double AttributeAligner::GroupingScore(const TypePairData& data, size_t i,
+                                       size_t j) {
+  if (i == j) return 1.0;
+  double oi = data.groups[i].occurrences;
+  double oj = data.groups[j].occurrences;
+  if (oi <= 0.0 || oj <= 0.0) return 0.0;
+  auto it = data.co_occur.find({std::min(i, j), std::max(i, j)});
+  double opq = it == data.co_occur.end() ? 0.0 : it->second;
+  return opq / std::min(oi, oj);
+}
+
+double AttributeAligner::InductiveGroupingScore(const TypePairData& data,
+                                                const eval::MatchSet& matches,
+                                                size_t i, size_t j) {
+  const std::string& lang_i = data.groups[i].key.language;
+  const std::string& lang_j = data.groups[j].key.language;
+
+  // C_a: matched attributes co-occurring with a in its mono-lingual schema.
+  auto companions = [&](size_t idx, const std::string& lang) {
+    std::vector<size_t> out;
+    for (size_t k = 0; k < data.groups.size(); ++k) {
+      if (k == idx || data.groups[k].key.language != lang) continue;
+      if (!matches.Contains(data.groups[k].key)) continue;
+      auto it = data.co_occur.find({std::min(idx, k), std::max(idx, k)});
+      if (it != data.co_occur.end() && it->second > 0.0) out.push_back(k);
+    }
+    return out;
+  };
+  std::vector<size_t> ca = companions(i, lang_i);
+  std::vector<size_t> cb = companions(j, lang_j);
+
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t a : ca) {
+    for (size_t b : cb) {
+      if (!matches.AreMatched(data.groups[a].key, data.groups[b].key)) {
+        continue;
+      }
+      sum += GroupingScore(data, i, a) * GroupingScore(data, j, b);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+util::Result<AlignmentResult> AttributeAligner::Align(
+    const TypePairData& data) const {
+  AlignmentResult result;
+  const size_t n = data.groups.size();
+  if (n == 0) return result;
+
+  // --- Feature computation ---------------------------------------------------
+  LsiCorrelation lsi_scores;
+  if (config_.use_lsi) {
+    WIKIMATCH_ASSIGN_OR_RETURN(lsi_scores,
+                               LsiCorrelation::Compute(data, config_.lsi));
+  }
+
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      CandidatePair p;
+      p.i = i;
+      p.j = j;
+      p.vsim = config_.use_vsim
+                   ? ValueSimilarity(data.groups[i], data.groups[j])
+                   : 0.0;
+      bool links_supported =
+          data.groups[i].links.Sum() >=
+              config_.min_link_support * data.groups[i].occurrences &&
+          data.groups[j].links.Sum() >=
+              config_.min_link_support * data.groups[j].occurrences;
+      p.lsim = config_.use_lsim && links_supported
+                   ? LinkSimilarity(data.groups[i], data.groups[j])
+                   : 0.0;
+      p.lsi = config_.use_lsi ? lsi_scores.Score(i, j) : 0.0;
+      pairs.push_back(p);
+    }
+  }
+
+  auto order_key = [&](const CandidatePair& p) {
+    return config_.use_lsi ? p.lsi : std::max(p.vsim, p.lsim);
+  };
+  // Order by correlation, breaking ties (frequent at small sample sizes,
+  // where many LSI scores saturate) by the strongest direct evidence.
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [&](const CandidatePair& x, const CandidatePair& y) {
+                     double kx = order_key(x);
+                     double ky = order_key(y);
+                     if (kx != ky) return kx > ky;
+                     return std::max(x.vsim, x.lsim) >
+                            std::max(y.vsim, y.lsim);
+                   });
+  result.all_pairs = pairs;
+
+  // --- WikiMatch single step: no queue, no constraints, no revision ----------
+  if (config_.single_step) {
+    for (const auto& p : pairs) {
+      if (std::max(p.vsim, p.lsim) > 0.0) {
+        result.matches.AddPair(data.groups[p.i].key, data.groups[p.j].key);
+        result.processed_order.push_back(p);
+      }
+    }
+    return result;
+  }
+
+  // --- Build the priority queue P --------------------------------------------
+  std::vector<CandidatePair> queue;
+  for (const auto& p : pairs) {
+    bool admitted = config_.use_lsi ? p.lsi > config_.t_lsi
+                                    : std::max(p.vsim, p.lsim) > 0.0;
+    if (admitted) queue.push_back(p);
+  }
+  if (config_.random_order) {
+    util::Rng rng(config_.random_seed);
+    rng.Shuffle(&queue);
+  }
+
+  // --- IntegrateMatches (Algorithm 2) -----------------------------------------
+  auto integrate = [&](const CandidatePair& p, eval::MatchSet* matches) {
+    const eval::AttrKey& ka = data.groups[p.i].key;
+    const eval::AttrKey& kb = data.groups[p.j].key;
+    bool has_a = matches->Contains(ka);
+    bool has_b = matches->Contains(kb);
+    if (!has_a && !has_b) {
+      matches->AddPair(ka, kb);
+      return true;
+    }
+    if (has_a && has_b) return false;  // Both already matched: ignore.
+    // Exactly one side is in an existing match m_j: absorb the other if it
+    // correlates positively with every member of m_j.
+    const eval::AttrKey& present = has_a ? ka : kb;
+    size_t newcomer_idx = has_a ? p.j : p.i;
+    if (config_.use_integrate_constraint && config_.use_lsi) {
+      for (const eval::AttrKey& member : matches->ClusterOf(present)) {
+        size_t mi = data.GroupIndex(member);
+        if (mi == SIZE_MAX) continue;
+        if (lsi_scores.Score(mi, newcomer_idx) <= config_.t_lsi) {
+          return false;
+        }
+      }
+    }
+    matches->AddPair(ka, kb);
+    return true;
+  };
+
+  // --- Main loop (Algorithm 1) -------------------------------------------------
+  std::vector<CandidatePair> uncertain;
+  for (const auto& p : queue) {
+    double strongest = std::max(p.vsim, p.lsim);
+    if (strongest > config_.t_sim) {
+      if (integrate(p, &result.matches)) result.processed_order.push_back(p);
+    } else {
+      uncertain.push_back(p);
+    }
+  }
+
+  // --- ReviseUncertain (Section 3.4) -------------------------------------------
+  if (config_.use_revise_uncertain && !uncertain.empty()) {
+    std::vector<std::pair<double, CandidatePair>> revised;
+    for (const auto& p : uncertain) {
+      if (std::max(p.vsim, p.lsim) < config_.t_revise_min_sim) continue;
+      double eg = InductiveGroupingScore(data, result.matches, p.i, p.j);
+      bool eligible = config_.use_inductive_grouping
+                          ? eg > config_.t_inductive
+                          : true;
+      if (eligible) revised.emplace_back(eg, p);
+    }
+    // Process revived candidates in LSI order (the algorithm's ordering
+    // signal), breaking ties by the inductive grouping score — eg decides
+    // *admission*, correlation decides *priority*.
+    std::stable_sort(revised.begin(), revised.end(),
+                     [](const auto& x, const auto& y) {
+                       if (x.second.lsi != y.second.lsi) {
+                         return x.second.lsi > y.second.lsi;
+                       }
+                       return x.first > y.first;
+                     });
+    for (const auto& [eg, p] : revised) {
+      if (integrate(p, &result.matches)) result.processed_order.push_back(p);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace match
+}  // namespace wikimatch

@@ -1,0 +1,39 @@
+#include "match/dictionary.h"
+
+namespace wikimatch {
+namespace match {
+
+void TranslationDictionary::Build(const wiki::Corpus& corpus) {
+  for (wiki::ArticleId id = 0; id < corpus.size(); ++id) {
+    const wiki::Article& a = corpus.Get(id);
+    for (const auto& [lang, title] : a.cross_language_links) {
+      Add(a.language, a.title, lang, title);
+      Add(lang, title, a.language, a.title);
+    }
+  }
+}
+
+void TranslationDictionary::Add(const std::string& from_lang,
+                                const std::string& term,
+                                const std::string& to_lang,
+                                const std::string& translation) {
+  entries_.emplace(std::make_tuple(from_lang, to_lang, term), translation);
+}
+
+std::optional<std::string> TranslationDictionary::Translate(
+    const std::string& from_lang, const std::string& term,
+    const std::string& to_lang) const {
+  auto it = entries_.find(std::make_tuple(from_lang, to_lang, term));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string TranslationDictionary::TranslateOrKeep(
+    const std::string& from_lang, const std::string& term,
+    const std::string& to_lang) const {
+  auto t = Translate(from_lang, term, to_lang);
+  return t.has_value() ? *t : term;
+}
+
+}  // namespace match
+}  // namespace wikimatch

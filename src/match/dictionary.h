@@ -1,0 +1,67 @@
+// Automatically-derived translation dictionary (Section 3.2).
+//
+// For each article A in language L with a cross-language link to article A'
+// in L', the dictionary learns title(A) -> title(A'). No external resource
+// is used — this is the paper's replacement for bilingual dictionaries and
+// machine translation.
+
+#ifndef WIKIMATCH_MATCH_DICTIONARY_H_
+#define WIKIMATCH_MATCH_DICTIONARY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace match {
+
+/// \brief Title-level translation dictionary built from cross-language links.
+class TranslationDictionary {
+ public:
+  TranslationDictionary() = default;
+
+  /// \brief Scans the corpus and records every (L title -> L' title) pair
+  /// implied by a cross-language link, in both directions.
+  ///
+  /// Call after Corpus::Finalize() so links are symmetrized.
+  void Build(const wiki::Corpus& corpus);
+
+  /// \brief Adds one entry (used by tests and by the COMA++ baseline's
+  /// synthetic-MT configuration).
+  void Add(const std::string& from_lang, const std::string& term,
+           const std::string& to_lang, const std::string& translation);
+
+  /// \brief Translation of `term` (normalized title form) from `from_lang`
+  /// to `to_lang`, or nullopt when unknown.
+  std::optional<std::string> Translate(const std::string& from_lang,
+                                       const std::string& term,
+                                       const std::string& to_lang) const;
+
+  /// \brief Translates when possible, otherwise returns `term` unchanged —
+  /// the construction of the translated value vector v_t_a.
+  std::string TranslateOrKeep(const std::string& from_lang,
+                              const std::string& term,
+                              const std::string& to_lang) const;
+
+  /// \brief Total number of directed entries.
+  size_t size() const { return entries_.size(); }
+
+  /// \brief All entries: (from_lang, to_lang, term) -> translation.
+  const std::map<std::tuple<std::string, std::string, std::string>,
+                 std::string>&
+  entries() const {
+    return entries_;
+  }
+
+ private:
+  // (from_lang, to_lang, term) -> translation
+  std::map<std::tuple<std::string, std::string, std::string>, std::string>
+      entries_;
+};
+
+}  // namespace match
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_MATCH_DICTIONARY_H_

@@ -1,0 +1,50 @@
+// Serialization of match output: the paper's Section 5 stores the derived
+// correspondences "in a dictionary" consumed by WikiQuery. These routines
+// persist MatchSets and translation dictionaries as TSV so the CLI can
+// derive matches once and query many times.
+//
+// Formats (UTF-8, tab-separated, '#' comment lines ignored):
+//
+//   matches.tsv:     type_b <TAB> lang <TAB> attribute <TAB> cluster_id
+//   dictionary.tsv:  from_lang <TAB> term <TAB> to_lang <TAB> translation
+
+#ifndef WIKIMATCH_MATCH_MATCH_IO_H_
+#define WIKIMATCH_MATCH_MATCH_IO_H_
+
+#include <map>
+#include <string>
+
+#include "eval/match_set.h"
+#include "match/dictionary.h"
+#include "util/result.h"
+
+namespace wikimatch {
+namespace match {
+
+/// \brief Per-type match sets keyed by the hub-side type name.
+using TypeMatchSets = std::map<std::string, eval::MatchSet>;
+
+/// \brief Serializes per-type match clusters to TSV text.
+std::string WriteMatchSets(const TypeMatchSets& matches);
+
+/// \brief Parses WriteMatchSets output. Clusters are rebuilt transitively.
+/// Returns ParseError with a line number for malformed rows.
+util::Result<TypeMatchSets> ReadMatchSets(const std::string& tsv);
+
+/// \brief Saves to a file.
+util::Status SaveMatchSets(const TypeMatchSets& matches,
+                           const std::string& path);
+
+/// \brief Loads from a file.
+util::Result<TypeMatchSets> LoadMatchSets(const std::string& path);
+
+/// \brief Serializes a title dictionary to TSV text.
+std::string WriteDictionary(const TranslationDictionary& dictionary);
+
+/// \brief Parses dictionary TSV into a TranslationDictionary.
+util::Result<TranslationDictionary> ReadDictionary(const std::string& tsv);
+
+}  // namespace match
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_MATCH_MATCH_IO_H_

@@ -1,0 +1,78 @@
+#include "match/pipeline.h"
+
+#include <optional>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace wikimatch {
+namespace match {
+
+const TypePairResult* PipelineResult::FindByTypeB(
+    const std::string& type_b) const {
+  for (const auto& r : per_type) {
+    if (r.type_b == type_b) return &r;
+  }
+  return nullptr;
+}
+
+MatchPipeline::MatchPipeline(const wiki::Corpus* corpus) : corpus_(corpus) {
+  dictionary_.Build(*corpus_);
+}
+
+util::Result<TypePairData> MatchPipeline::BuildPair(
+    const std::string& lang_a, const std::string& type_a,
+    const std::string& lang_b, const std::string& type_b,
+    const SchemaBuilderOptions& options) const {
+  return BuildTypePairData(*corpus_, dictionary_, lang_a, type_a, lang_b,
+                           type_b, options);
+}
+
+util::Result<PipelineResult> MatchPipeline::Run(
+    const std::string& lang_a, const std::string& lang_b,
+    const PipelineOptions& options) const {
+  PipelineResult out;
+  TypeMatcher type_matcher(options.type_min_votes,
+                           options.type_min_confidence);
+  out.type_matches = type_matcher.Match(*corpus_, lang_a, lang_b);
+
+  AttributeAligner aligner(options.matcher);
+  // Type pairs are independent: build and align each into its own slot so
+  // parallel execution keeps deterministic output order.
+  std::vector<std::optional<TypePairResult>> slots(out.type_matches.size());
+  std::vector<util::Status> errors(out.type_matches.size());
+  util::ParallelFor(
+      out.type_matches.size(), options.num_threads, [&](size_t i) {
+        const TypeMatch& tm = out.type_matches[i];
+        auto data = BuildPair(lang_a, tm.type_a, lang_b, tm.type_b,
+                              options.schema);
+        if (!data.ok()) {
+          WIKIMATCH_LOG(Warning)
+              << "skipping type pair " << tm.type_a << "/" << tm.type_b
+              << ": " << data.status().ToString();
+          return;
+        }
+        TypePairResult result;
+        result.type_a = tm.type_a;
+        result.type_b = tm.type_b;
+        result.num_duals = data->num_duals;
+        result.frequencies = data->Frequencies();
+        auto alignment = aligner.Align(data.ValueOrDie());
+        if (!alignment.ok()) {
+          errors[i] = alignment.status();
+          return;
+        }
+        result.alignment = std::move(alignment).ValueOrDie();
+        slots[i] = std::move(result);
+      });
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!errors[i].ok()) return errors[i];
+    if (slots[i].has_value()) {
+      out.per_type.push_back(std::move(*slots[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace match
+}  // namespace wikimatch

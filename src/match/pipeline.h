@@ -1,0 +1,82 @@
+// End-to-end WikiMatch pipeline: type matching -> schema building ->
+// attribute alignment, for every type shared by a language pair.
+
+#ifndef WIKIMATCH_MATCH_PIPELINE_H_
+#define WIKIMATCH_MATCH_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "match/aligner.h"
+#include "match/dictionary.h"
+#include "match/schema_builder.h"
+#include "match/type_matcher.h"
+#include "util/result.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace match {
+
+/// \brief Pipeline configuration.
+struct PipelineOptions {
+  MatcherConfig matcher;
+  SchemaBuilderOptions schema;
+  /// Type-matching thresholds (Section 3.1).
+  size_t type_min_votes = 2;
+  double type_min_confidence = 0.5;
+  /// Worker threads for per-type alignment (type pairs are independent);
+  /// 1 = sequential. Results are deterministic regardless of this value.
+  size_t num_threads = 1;
+};
+
+/// \brief Alignment output for one matched type pair.
+struct TypePairResult {
+  std::string type_a;  ///< localized type in lang_a
+  std::string type_b;  ///< localized type in lang_b
+  size_t num_duals = 0;
+  AlignmentResult alignment;
+  eval::AttrFrequencies frequencies;
+};
+
+/// \brief Output of a full pipeline run over one language pair.
+struct PipelineResult {
+  std::vector<TypeMatch> type_matches;
+  std::vector<TypePairResult> per_type;
+
+  /// \brief The result for localized type `type_b` (hub side), or nullptr.
+  const TypePairResult* FindByTypeB(const std::string& type_b) const;
+};
+
+/// \brief Runs WikiMatch over a finalized corpus.
+class MatchPipeline {
+ public:
+  /// Builds the translation dictionary from the corpus once; reusable
+  /// across Run() calls with different configs (threshold sweeps).
+  explicit MatchPipeline(const wiki::Corpus* corpus);
+
+  /// \brief Aligns every type shared by (lang_a, lang_b).
+  util::Result<PipelineResult> Run(const std::string& lang_a,
+                                   const std::string& lang_b,
+                                   const PipelineOptions& options = {}) const;
+
+  /// \brief Builds the TypePairData for one type pair (for callers that
+  /// sweep matcher configs without rebuilding schemas).
+  util::Result<TypePairData> BuildPair(const std::string& lang_a,
+                                       const std::string& type_a,
+                                       const std::string& lang_b,
+                                       const std::string& type_b,
+                                       const SchemaBuilderOptions& options
+                                       = {}) const;
+
+  const TranslationDictionary& dictionary() const { return dictionary_; }
+  const wiki::Corpus& corpus() const { return *corpus_; }
+
+ private:
+  const wiki::Corpus* corpus_;
+  TranslationDictionary dictionary_;
+};
+
+}  // namespace match
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_MATCH_PIPELINE_H_

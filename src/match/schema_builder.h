@@ -1,0 +1,100 @@
+// SchemaBuilder: turns the corpus into the per-type-pair data structures
+// the aligner consumes — attribute groups (AG in Algorithm 1) with their
+// value vectors (translated into the second language, Section 3.2), link
+// structure sets, occurrence statistics, and the dual-language infobox
+// membership needed for the LSI occurrence matrix and grouping scores.
+
+#ifndef WIKIMATCH_MATCH_SCHEMA_BUILDER_H_
+#define WIKIMATCH_MATCH_SCHEMA_BUILDER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/match_set.h"
+#include "eval/metrics.h"
+#include "la/sparse_vector.h"
+#include "match/dictionary.h"
+#include "util/result.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace match {
+
+/// \brief One attribute group: all occurrences of one attribute name in one
+/// language, values and links pooled across the type's infoboxes.
+struct AttributeGroup {
+  eval::AttrKey key;
+  /// Value vector: raw term frequencies over value components (tokens and
+  /// link anchor texts), with lang_a components translated into lang_b via
+  /// the dictionary where possible.
+  la::SparseVector values;
+  /// Link structure: frequencies over canonicalized link targets (targets
+  /// whose landing articles are joined by a cross-language link share one
+  /// canonical id).
+  la::SparseVector links;
+  /// Number of infoboxes (of this type, this language) containing the
+  /// attribute — the |a_i| weight of the evaluation metrics.
+  double occurrences = 0.0;
+  /// Indexes of the dual-language infoboxes whose `key.language` side
+  /// contains the attribute (rows of the LSI occurrence matrix).
+  std::set<uint32_t> dual_docs;
+};
+
+/// \brief Everything the aligner needs for one type pair.
+struct TypePairData {
+  std::string lang_a;  ///< e.g. "pt"
+  std::string lang_b;  ///< e.g. "en"
+  std::string type_a;  ///< localized type name in lang_a
+  std::string type_b;  ///< localized type name in lang_b
+  std::vector<AttributeGroup> groups;  ///< both languages, lang_a first
+  /// Number of dual-language infoboxes (columns of the occurrence matrix).
+  size_t num_duals = 0;
+  /// Mono-language co-occurrence counts for the grouping score g:
+  /// co_occur[{i, j}] = number of infoboxes containing both groups i and j
+  /// (only meaningful when i and j share a language). Keys have i < j.
+  std::map<std::pair<size_t, size_t>, double> co_occur;
+  /// Shared term space of the value vectors (ids -> component strings).
+  la::TermDictionary value_terms;
+
+  /// \brief Index of the group with `key`, or SIZE_MAX.
+  size_t GroupIndex(const eval::AttrKey& key) const;
+
+  /// \brief |a_i| weights for the evaluation metrics.
+  eval::AttrFrequencies Frequencies() const;
+};
+
+/// \brief Options for schema building.
+struct SchemaBuilderOptions {
+  /// Translate lang_a value components into lang_b via the dictionary
+  /// before vector construction (the paper's v_t_a). Disabled by ablations
+  /// and by baselines that must not use the dictionary.
+  bool translate_values = true;
+  /// Drop attributes occurring in fewer than this many infoboxes.
+  size_t min_occurrences = 1;
+  /// Use only the first N dual infoboxes (0 = all). Models tools that
+  /// match from a bounded instance sample rather than the full corpus
+  /// (the COMA++ baseline).
+  size_t max_sample_infoboxes = 0;
+};
+
+/// \brief Builds TypePairData for the infoboxes of (lang_a, type_a) that
+/// are cross-language-linked to infoboxes of (lang_b, type_b).
+///
+/// Returns NotFound when no dual pair exists.
+util::Result<TypePairData> BuildTypePairData(
+    const wiki::Corpus& corpus, const TranslationDictionary& dictionary,
+    const std::string& lang_a, const std::string& type_a,
+    const std::string& lang_b, const std::string& type_b,
+    const SchemaBuilderOptions& options = {});
+
+/// \brief Decomposes an attribute value into vector components: word and
+/// number tokens of the plain text plus each link's full anchor text
+/// (normalized). Exposed for tests.
+std::vector<std::string> ValueComponents(const wiki::AttributeValue& value);
+
+}  // namespace match
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_MATCH_SCHEMA_BUILDER_H_

@@ -1,0 +1,53 @@
+#include "match/type_matcher.h"
+
+#include <algorithm>
+
+namespace wikimatch {
+namespace match {
+
+TypeMatcher::TypeMatcher(size_t min_votes, double min_confidence)
+    : min_votes_(min_votes), min_confidence_(min_confidence) {}
+
+std::vector<TypeMatch> TypeMatcher::Match(const wiki::Corpus& corpus,
+                                          const std::string& lang_a,
+                                          const std::string& lang_b) const {
+  // votes[type_a][type_b] = count of dual pairs.
+  std::map<std::string, std::map<std::string, size_t>> votes;
+  std::map<std::string, size_t> totals;
+
+  for (const auto& type_a : corpus.TypesIn(lang_a)) {
+    for (wiki::ArticleId id : corpus.ArticlesOfType(lang_a, type_a)) {
+      wiki::ArticleId other = corpus.CrossLanguageTarget(id, lang_b);
+      if (other == wiki::kInvalidArticle) continue;
+      const wiki::Article& b = corpus.Get(other);
+      if (!b.infobox.has_value() || b.entity_type.empty()) continue;
+      votes[type_a][b.entity_type]++;
+      totals[type_a]++;
+    }
+  }
+
+  std::vector<TypeMatch> out;
+  for (const auto& [type_a, targets] : votes) {
+    auto best = std::max_element(
+        targets.begin(), targets.end(),
+        [](const auto& x, const auto& y) { return x.second < y.second; });
+    if (best == targets.end()) continue;
+    TypeMatch m;
+    m.type_a = type_a;
+    m.type_b = best->first;
+    m.votes = best->second;
+    m.confidence =
+        static_cast<double>(m.votes) / static_cast<double>(totals[type_a]);
+    if (m.votes >= min_votes_ && m.confidence >= min_confidence_) {
+      out.push_back(std::move(m));
+    }
+  }
+  // Most-supported mappings first.
+  std::sort(out.begin(), out.end(), [](const TypeMatch& x, const TypeMatch& y) {
+    return x.votes > y.votes;
+  });
+  return out;
+}
+
+}  // namespace match
+}  // namespace wikimatch

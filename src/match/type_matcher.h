@@ -1,0 +1,50 @@
+// Entity-type matching across languages (Section 3.1): if infoboxes of type
+// T in language L frequently cross-language-link to infoboxes of type T' in
+// L', then T and T' are equivalent.
+
+#ifndef WIKIMATCH_MATCH_TYPE_MATCHER_H_
+#define WIKIMATCH_MATCH_TYPE_MATCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace match {
+
+/// \brief One discovered type correspondence with its supporting evidence.
+struct TypeMatch {
+  std::string type_a;   ///< type in lang_a
+  std::string type_b;   ///< type in lang_b
+  size_t votes = 0;     ///< dual pairs supporting the mapping
+  double confidence = 0.0;  ///< votes / total links from type_a
+};
+
+/// \brief Maps entity types between two languages by link voting.
+class TypeMatcher {
+ public:
+  /// \param min_votes minimum supporting pairs for a mapping to be emitted.
+  /// \param min_confidence minimum fraction of type_a's outgoing links that
+  ///        must land on type_b.
+  explicit TypeMatcher(size_t min_votes = 2, double min_confidence = 0.5);
+
+  /// \brief Computes the type mapping from `lang_a` to `lang_b`.
+  ///
+  /// For every article of each type in lang_a with a cross-language link to
+  /// a typed article in lang_b, a vote (type_a -> type_b) is cast; each
+  /// type_a keeps its majority target if it passes the thresholds.
+  std::vector<TypeMatch> Match(const wiki::Corpus& corpus,
+                               const std::string& lang_a,
+                               const std::string& lang_b) const;
+
+ private:
+  size_t min_votes_;
+  double min_confidence_;
+};
+
+}  // namespace match
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_MATCH_TYPE_MATCHER_H_

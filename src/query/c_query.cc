@@ -1,0 +1,216 @@
+#include "query/c_query.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "text/normalize.h"
+#include "util/string_util.h"
+
+namespace wikimatch {
+namespace query {
+
+namespace {
+
+const char* OpToString(Op op) {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kLt:
+      return "<";
+    case Op::kGt:
+      return ">";
+    case Op::kLe:
+      return "<=";
+    case Op::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+// Recursive-descent parser state.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  util::Result<CQuery> Parse() {
+    CQuery out;
+    while (true) {
+      auto part = ParseTypeQuery();
+      if (!part.ok()) return part.status();
+      out.parts.push_back(std::move(part).ValueOrDie());
+      SkipSpace();
+      if (!ConsumeWord("and")) break;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input");
+    }
+    if (out.parts.empty()) return Error("empty query");
+    return out;
+  }
+
+ private:
+  util::Status Error(const std::string& message) {
+    return util::Status::ParseError(message + " at offset " +
+                                    std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Consumes the keyword if present (case-insensitive, word boundary).
+  bool ConsumeWord(const std::string& word) {
+    SkipSpace();
+    if (pos_ + word.size() > text_.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          word[i]) {
+        return false;
+      }
+    }
+    size_t end = pos_ + word.size();
+    if (end < text_.size() &&
+        !std::isspace(static_cast<unsigned char>(text_[end]))) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  // Reads text until one of the stop characters (exclusive), trimmed.
+  std::string ReadUntil(const std::string& stops) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           stops.find(text_[pos_]) == std::string::npos) {
+      ++pos_;
+    }
+    return std::string(util::StripAsciiWhitespace(
+        std::string_view(text_).substr(start, pos_ - start)));
+  }
+
+  util::Result<TypeQuery> ParseTypeQuery() {
+    SkipSpace();
+    TypeQuery out;
+    std::string name = ReadUntil("(");
+    if (name.empty()) return Error("expected type name");
+    out.type = text::NormalizeAttributeName(name);
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return Error("expected '('");
+    }
+    ++pos_;  // consume '('
+    while (true) {
+      auto constraint = ParseConstraint();
+      if (!constraint.ok()) return constraint.status();
+      out.constraints.push_back(std::move(constraint).ValueOrDie());
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      return Error("expected ')'");
+    }
+    ++pos_;
+    return out;
+  }
+
+  util::Result<Constraint> ParseConstraint() {
+    SkipSpace();
+    Constraint out;
+    std::string attrs = ReadUntil("=<>,)");
+    if (attrs.empty()) return Error("expected attribute name");
+    for (const auto& alt : util::Split(attrs, '|')) {
+      std::string norm = text::NormalizeAttributeName(alt);
+      if (!norm.empty()) out.attributes.push_back(norm);
+    }
+    if (out.attributes.empty()) return Error("empty attribute list");
+
+    if (pos_ >= text_.size()) return Error("expected operator");
+    char c = text_[pos_];
+    if (c == '=') {
+      out.op = Op::kEq;
+      ++pos_;
+    } else if (c == '<' || c == '>') {
+      ++pos_;
+      bool or_equal = pos_ < text_.size() && text_[pos_] == '=';
+      if (or_equal) ++pos_;
+      out.op = c == '<' ? (or_equal ? Op::kLe : Op::kLt)
+                        : (or_equal ? Op::kGe : Op::kGt);
+      out.is_numeric = true;
+    } else {
+      return Error("expected '=', '<' or '>'");
+    }
+
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '?') {
+      if (out.op != Op::kEq) return Error("'?' requires '='");
+      out.is_projection = true;
+      ++pos_;
+      return out;
+    }
+    std::string value;
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      ++pos_;
+      value = ReadUntil("\"");
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      ++pos_;  // closing quote
+    } else {
+      value = ReadUntil(",)");
+    }
+    if (value.empty()) return Error("expected value");
+    out.value = text::NormalizeValue(value);
+    char* end = nullptr;
+    double num = std::strtod(out.value.c_str(), &end);
+    if (end != nullptr && end != out.value.c_str() && *end == '\0') {
+      out.number = num;
+      out.is_numeric = true;
+    } else if (out.op != Op::kEq) {
+      return Error("comparison needs a numeric value");
+    }
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Constraint::ToString() const {
+  std::string out = util::Join(attributes, "|");
+  out += OpToString(op);
+  if (is_projection) {
+    out += "?";
+  } else if (is_numeric && value.empty()) {
+    out += util::StringPrintf("%g", number);
+  } else {
+    out += "\"" + value + "\"";
+  }
+  return out;
+}
+
+std::string TypeQuery::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& c : constraints) parts.push_back(c.ToString());
+  return type + "(" + util::Join(parts, ", ") + ")";
+}
+
+std::string CQuery::ToString() const {
+  std::vector<std::string> rendered;
+  for (const auto& part : parts) rendered.push_back(part.ToString());
+  return util::Join(rendered, " and ");
+}
+
+util::Result<CQuery> ParseCQuery(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace query
+}  // namespace wikimatch

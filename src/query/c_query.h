@@ -1,0 +1,66 @@
+// c-queries (Section 5 / WikiQuery [25]): structured queries over infobox
+// content, e.g.
+//
+//   actor(born="brazil", website=?) and film(award="oscar")
+//
+// A c-query is a conjunction of type queries; each type query constrains
+// attributes of one entity type. An attribute position may list
+// alternatives separated by '|' (nascimento|data de nascimento); operators
+// are =, <, >, <=, >=; the value '?' marks a projection (attribute must be
+// present, its value is returned).
+
+#ifndef WIKIMATCH_QUERY_C_QUERY_H_
+#define WIKIMATCH_QUERY_C_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace wikimatch {
+namespace query {
+
+/// \brief Comparison operator of a constraint.
+enum class Op { kEq, kLt, kGt, kLe, kGe };
+
+/// \brief One constraint: <attr alternatives> <op> <value or ?>.
+struct Constraint {
+  /// Attribute-name alternatives (normalized); any may satisfy.
+  std::vector<std::string> attributes;
+  Op op = Op::kEq;
+  /// True for '=?' projections: the attribute must exist, no value test.
+  bool is_projection = false;
+  /// String value for equality tests (normalized).
+  std::string value;
+  /// Parsed numeric value for comparison tests.
+  double number = 0.0;
+  /// True when `op` is a numeric comparison or `value` parsed as a number.
+  bool is_numeric = false;
+
+  std::string ToString() const;
+};
+
+/// \brief Constraints on one entity type.
+struct TypeQuery {
+  /// Localized, normalized type name ("filme").
+  std::string type;
+  std::vector<Constraint> constraints;
+
+  std::string ToString() const;
+};
+
+/// \brief A conjunctive query over one or more types.
+struct CQuery {
+  std::vector<TypeQuery> parts;
+
+  std::string ToString() const;
+};
+
+/// \brief Parses the c-query syntax. Returns ParseError with a position
+/// hint for malformed input.
+util::Result<CQuery> ParseCQuery(const std::string& text);
+
+}  // namespace query
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_QUERY_C_QUERY_H_

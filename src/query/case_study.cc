@@ -1,0 +1,404 @@
+#include "query/case_study.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "query/evaluator.h"
+#include "text/normalize.h"
+#include "util/logging.h"
+
+namespace wikimatch {
+namespace query {
+
+namespace {
+
+using synth::ValueKind;
+
+// First concept of `kind` in the model, skipping the first `skip` hits.
+const synth::Concept* FindConcept(const synth::TypeModel& model,
+                                  ValueKind kind, size_t skip = 0) {
+  for (const auto& c : model.concepts) {
+    if (c.kind != kind) continue;
+    if (skip == 0) return &c;
+    --skip;
+  }
+  return nullptr;
+}
+
+// True when `rec`'s facts satisfy one concept constraint (projections are
+// always satisfiable by the entity).
+bool FactSatisfies(const synth::EntityRecord& rec,
+                   const ConceptConstraint& cc) {
+  if (cc.is_projection) return true;
+  auto fact_it = rec.facts.find(cc.concept_id);
+  if (fact_it == rec.facts.end()) return false;
+  const synth::Fact& fact = fact_it->second;
+  if (cc.ref >= 0) {
+    return fact.ref == cc.ref ||
+           std::find(fact.refs.begin(), fact.refs.end(), cc.ref) !=
+               fact.refs.end();
+  }
+  double value = 0.0;
+  switch (fact.kind) {
+    case ValueKind::kDate:
+    case ValueKind::kYear:
+      value = fact.year;
+      break;
+    default:
+      value = static_cast<double>(fact.number);
+  }
+  switch (cc.op) {
+    case Op::kEq:
+      return value == cc.number;
+    case Op::kLt:
+      return value < cc.number;
+    case Op::kGt:
+      return value > cc.number;
+    case Op::kLe:
+      return value <= cc.number;
+    case Op::kGe:
+      return value >= cc.number;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<CaseQuery> BuildCaseQueries(const synth::GeneratedCorpus& gc) {
+  std::vector<CaseQuery> out;
+
+  // One pattern per entry: (type, [(kind, op, number-or-popular-ref)]).
+  struct Want {
+    const char* type;
+    const char* description;
+    struct Piece {
+      ValueKind kind;
+      Op op;
+      bool projection;
+      double number;
+      bool use_ref;  // equality on the domain's most popular pool entity
+    };
+    std::vector<Piece> pieces;
+  };
+  const std::vector<Want> wants = {
+      {"film",
+       "Long films of a given genre, with their names",
+       {{ValueKind::kTerm, Op::kEq, false, 0, true},
+        {ValueKind::kDuration, Op::kGt, false, 170, false},
+        {ValueKind::kName, Op::kEq, true, 0, false}}},
+      {"film",
+       "Films with budget over 100M released since 1990",
+       {{ValueKind::kMoney, Op::kGt, false, 220000000, false},
+        {ValueKind::kDate, Op::kGe, false, 2000, false}}},
+      {"actor",
+       "Actors born before 1930",
+       {{ValueKind::kDate, Op::kLt, false, 1930, false},
+        {ValueKind::kName, Op::kEq, true, 0, false}}},
+      {"actor",
+       "Actors born in a given country before 1960, with their occupations",
+       {{ValueKind::kPlace, Op::kEq, false, 0, true},
+        {ValueKind::kDate, Op::kLt, false, 1960, false},
+        {ValueKind::kTerm, Op::kEq, true, 0, false}}},
+      {"film",
+       "Long films (over 200 minutes) from a given country",
+       {{ValueKind::kDuration, Op::kGt, false, 200, false},
+        {ValueKind::kPlace, Op::kEq, false, 0, true}}},
+      {"artist",
+       "Artists of a given genre born after 1995",
+       {{ValueKind::kTerm, Op::kEq, false, 0, true},
+        {ValueKind::kDate, Op::kGt, false, 1995, false}}},
+      {"show",
+       "Shows from a given country of a given genre",
+       {{ValueKind::kPlace, Op::kEq, false, 0, true},
+        {ValueKind::kTerm, Op::kEq, false, 0, true}}},
+      {"album",
+       "Albums recorded before 1935 of a given genre",
+       {{ValueKind::kDate, Op::kLt, false, 1935, false},
+        {ValueKind::kTerm, Op::kEq, false, 0, true}}},
+      {"book",
+       "Books written before 1925 of a given genre",
+       {{ValueKind::kDate, Op::kLt, false, 1925, false},
+        {ValueKind::kTerm, Op::kEq, false, 0, true}}},
+      {"company",
+       "Companies with revenue over 100M and their headquarters",
+       {{ValueKind::kMoney, Op::kGt, false, 250000000, false},
+        {ValueKind::kPlace, Op::kEq, true, 0, false}}},
+  };
+
+  for (const auto& want : wants) {
+    auto model_it = gc.models.find(want.type);
+    if (model_it == gc.models.end()) continue;
+    const synth::TypeModel& model = model_it->second;
+    CaseQuery cq;
+    cq.type = want.type;
+    cq.description = want.description;
+    bool ok = true;
+    std::map<ValueKind, size_t> used;  // distinct concepts per kind
+    for (const auto& piece : want.pieces) {
+      const synth::Concept* concept_spec =
+          FindConcept(model, piece.kind, used[piece.kind]);
+      if (concept_spec == nullptr) {
+        // Fall back to any concept for projections; otherwise give up on
+        // this piece.
+        if (piece.projection && !model.concepts.empty()) {
+          concept_spec = &model.concepts.front();
+        } else {
+          ok = false;
+          break;
+        }
+      } else {
+        used[piece.kind]++;
+      }
+      ConceptConstraint cc;
+      cc.concept_id = concept_spec->id;
+      cc.op = piece.op;
+      cc.is_projection = piece.projection;
+      cc.number = piece.number;
+      if (piece.use_ref) {
+        // The domain's second-most-popular member: selective but
+        // non-empty.
+        size_t rank = concept_spec->domain_end > concept_spec->domain_begin + 1
+                          ? 1u : 0u;
+        cc.ref = static_cast<int>(concept_spec->domain_begin + rank);
+      }
+      cq.constraints.push_back(std::move(cc));
+    }
+    if (ok && !cq.constraints.empty()) out.push_back(std::move(cq));
+  }
+
+  // A hyperlink-join query in the spirit of the paper's Table 4 Q1
+  // ("movies with an actor who is also a politician"): films whose cast
+  // includes an actor born before 1945.
+  auto film_it = gc.models.find("film");
+  auto actor_it = gc.models.find("actor");
+  if (film_it != gc.models.end() && actor_it != gc.models.end()) {
+    const synth::Concept* starring = nullptr;
+    for (const auto& c : film_it->second.concepts) {
+      if (c.id == "starring") starring = &c;
+    }
+    const synth::Concept* born = FindConcept(actor_it->second,
+                                             ValueKind::kDate);
+    if (starring != nullptr && born != nullptr) {
+      CaseQuery join;
+      join.type = "film";
+      join.description = "Films starring an actor born before 1945";
+      ConceptConstraint name_proj;
+      name_proj.concept_id = starring->id;
+      name_proj.is_projection = true;
+      join.constraints.push_back(name_proj);
+      join.join_type = "actor";
+      join.join_concept = starring->id;
+      ConceptConstraint born_cc;
+      born_cc.concept_id = born->id;
+      born_cc.op = Op::kLt;
+      born_cc.number = 1945;
+      join.join_constraints.push_back(born_cc);
+      out.push_back(std::move(join));
+    }
+  }
+  return out;
+}
+
+util::Result<CQuery> RenderSurfaceQuery(const CaseQuery& cq,
+                                        const synth::GeneratedCorpus& gc,
+                                        const std::string& lang) {
+  auto model_it = gc.models.find(cq.type);
+  if (model_it == gc.models.end()) {
+    return util::Status::NotFound("unknown type " + cq.type);
+  }
+  const synth::TypeModel& model = model_it->second;
+  auto name_it = model.names.find(lang);
+  if (name_it == model.names.end() ||
+      (lang != gc.hub && model.dual_count.count(lang) == 0)) {
+    return util::Status::NotFound("type " + cq.type + " not present in " +
+                                  lang);
+  }
+
+  auto render_part = [&gc, &lang](const synth::TypeModel& part_model,
+                                  const std::vector<ConceptConstraint>& ccs,
+                                  TypeQuery* part) {
+    for (const auto& cc : ccs) {
+      const synth::Concept* concept_spec = nullptr;
+      for (const auto& c : part_model.concepts) {
+        if (c.id == cc.concept_id) {
+          concept_spec = &c;
+          break;
+        }
+      }
+      if (concept_spec == nullptr) continue;
+      auto forms_it = concept_spec->forms.find(lang);
+      if (forms_it == concept_spec->forms.end() ||
+          forms_it->second.empty()) {
+        continue;  // Not expressible in this language.
+      }
+      Constraint constraint;
+      for (const auto& form : forms_it->second) {
+        constraint.attributes.push_back(text::NormalizeAttributeName(form));
+      }
+      constraint.op = cc.op;
+      constraint.is_projection = cc.is_projection;
+      if (!cc.is_projection) {
+        if (cc.ref >= 0) {
+          const synth::SupportEntity* pool_entity = nullptr;
+          switch (concept_spec->kind) {
+            case ValueKind::kPlace:
+              pool_entity = &gc.supports.places[static_cast<size_t>(cc.ref)];
+              break;
+            case ValueKind::kTerm:
+              pool_entity = &gc.supports.terms[static_cast<size_t>(cc.ref)];
+              break;
+            default:
+              pool_entity =
+                  &gc.supports.entities[static_cast<size_t>(cc.ref)];
+          }
+          auto title_it = pool_entity->titles.find(lang);
+          if (title_it == pool_entity->titles.end()) continue;
+          constraint.value = text::NormalizeValue(title_it->second);
+        } else {
+          constraint.number = cc.number;
+          constraint.is_numeric = true;
+        }
+      }
+      part->constraints.push_back(std::move(constraint));
+    }
+  };
+
+  TypeQuery part;
+  part.type = text::NormalizeAttributeName(name_it->second);
+  render_part(model, cq.constraints, &part);
+  if (part.constraints.empty()) {
+    return util::Status::NotFound("query not expressible in " + lang);
+  }
+  CQuery out;
+  out.parts.push_back(std::move(part));
+
+  // Join part.
+  if (!cq.join_type.empty()) {
+    auto join_model_it = gc.models.find(cq.join_type);
+    if (join_model_it != gc.models.end()) {
+      const synth::TypeModel& join_model = join_model_it->second;
+      auto join_name_it = join_model.names.find(lang);
+      bool present = join_name_it != join_model.names.end() &&
+                     (lang == gc.hub ||
+                      join_model.dual_count.count(lang) > 0);
+      if (present) {
+        TypeQuery join_part;
+        join_part.type = text::NormalizeAttributeName(join_name_it->second);
+        render_part(join_model, cq.join_constraints, &join_part);
+        if (!join_part.constraints.empty()) {
+          out.parts.push_back(std::move(join_part));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+RelevanceOracle::RelevanceOracle(const synth::GeneratedCorpus* gc)
+    : gc_(gc) {
+  for (size_t i = 0; i < gc_->entities.size(); ++i) {
+    for (const auto& [lang, title] : gc_->entities[i].titles) {
+      index_.emplace(std::make_pair(lang, title), i);
+    }
+  }
+}
+
+double RelevanceOracle::Judge(const CaseQuery& cq, const std::string& lang,
+                              const std::string& article_title) const {
+  auto it = index_.find({lang, article_title});
+  if (it == index_.end()) return 0.0;
+  const synth::EntityRecord& rec = gc_->entities[it->second];
+  if (rec.type != cq.type) return 0.0;
+
+  size_t total = 0;
+  size_t satisfied = 0;
+  for (const auto& cc : cq.constraints) {
+    ++total;
+    if (FactSatisfies(rec, cc)) ++satisfied;
+  }
+  // Join part: the entity must reference (through the crossref concept) a
+  // join_type entity satisfying every join constraint.
+  if (!cq.join_type.empty()) {
+    ++total;
+    auto fact_it = rec.facts.find(cq.join_concept);
+    if (fact_it != rec.facts.end() &&
+        !fact_it->second.crossref_type.empty()) {
+      bool any = false;
+      for (int ref : fact_it->second.refs) {
+        const synth::EntityRecord& target =
+            gc_->entities[static_cast<size_t>(ref)];
+        bool all = true;
+        for (const auto& jc : cq.join_constraints) {
+          if (!FactSatisfies(target, jc)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          any = true;
+          break;
+        }
+      }
+      if (any) ++satisfied;
+    }
+  }
+  if (total == 0) return 0.0;
+  // Judges score harshly: an answer violating one requested constraint is
+  // marginal (1), and anything worse is irrelevant (0).
+  size_t misses = total - satisfied;
+  if (misses == 0) return 4.0;
+  return misses == 1 ? 1.0 : 0.0;
+}
+
+util::Result<std::vector<CaseStudyCurve>> RunCaseStudy(
+    const synth::GeneratedCorpus& gc, const std::vector<CaseQuery>& queries,
+    const std::string& source_lang, const QueryTranslator& translator,
+    size_t top_k) {
+  RelevanceOracle oracle(&gc);
+  QueryEvaluator source_eval(&gc.corpus, source_lang);
+  QueryEvaluator hub_eval(&gc.corpus, gc.hub);
+  EvaluatorOptions eval_options;
+  eval_options.top_k = top_k;
+
+  std::vector<double> native_gain(top_k, 0.0);
+  std::vector<double> translated_gain(top_k, 0.0);
+
+  for (const auto& cq : queries) {
+    auto surface = RenderSurfaceQuery(cq, gc, source_lang);
+    if (!surface.ok()) continue;  // Not expressible: contributes nothing.
+
+    // Native run.
+    auto native = source_eval.Run(*surface, eval_options);
+    if (native.ok()) {
+      for (size_t k = 0; k < native->size() && k < top_k; ++k) {
+        const std::string& title =
+            gc.corpus.Get((*native)[k].article).title;
+        native_gain[k] += oracle.Judge(cq, source_lang, title);
+      }
+    }
+
+    // Translated run.
+    auto translated_query = translator.Translate(*surface);
+    if (!translated_query.ok()) continue;
+    auto translated = hub_eval.Run(*translated_query, eval_options);
+    if (translated.ok()) {
+      for (size_t k = 0; k < translated->size() && k < top_k; ++k) {
+        const std::string& title =
+            gc.corpus.Get((*translated)[k].article).title;
+        translated_gain[k] += oracle.Judge(cq, gc.hub, title);
+      }
+    }
+  }
+
+  std::vector<CaseStudyCurve> out(2);
+  std::string pretty = source_lang;
+  pretty[0] = static_cast<char>(std::toupper(pretty[0]));
+  out[0].label = pretty;
+  out[0].cg = eval::CumulativeGain(native_gain);
+  out[1].label = pretty + "->En";
+  out[1].cg = eval::CumulativeGain(translated_gain);
+  return out;
+}
+
+}  // namespace query
+}  // namespace wikimatch

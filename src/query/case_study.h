@@ -1,0 +1,100 @@
+// The Section 5 case study: a workload of concept-level queries (analogues
+// of the paper's Table 4), rendered into per-language surface c-queries,
+// run natively and translated-into-the-hub, and scored by cumulative gain
+// against a deterministic relevance oracle (the stand-in for the paper's
+// two human judges — see DESIGN.md).
+//
+// The workload includes a hyperlink-join query (films starring actors
+// who ...), answerable because the generator links film entities to
+// actor-type entities (GeneratorOptions::crossrefs).
+
+#ifndef WIKIMATCH_QUERY_CASE_STUDY_H_
+#define WIKIMATCH_QUERY_CASE_STUDY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/c_query.h"
+#include "query/translator.h"
+#include "synth/generator.h"
+#include "util/result.h"
+
+namespace wikimatch {
+namespace query {
+
+/// \brief One constraint at the concept level (language-independent).
+struct ConceptConstraint {
+  std::string concept_id;
+  Op op = Op::kEq;
+  bool is_projection = false;
+  /// For numeric constraints.
+  double number = 0.0;
+  /// For link-valued equality: index into the matching support pool.
+  int ref = -1;
+};
+
+/// \brief One case-study query, written against concepts of one type,
+/// optionally joined (through hyperlinks) to a second type.
+struct CaseQuery {
+  std::string description;
+  std::string type;  ///< hub type id of the primary part
+  std::vector<ConceptConstraint> constraints;
+  /// Optional join: answers must link to an entity of `join_type`
+  /// satisfying `join_constraints`, through the primary type's
+  /// `join_concept` (a cross-type reference, e.g. film "starring").
+  std::string join_type;
+  std::string join_concept;
+  std::vector<ConceptConstraint> join_constraints;
+};
+
+/// \brief Builds the 10-query workload against the generated corpus,
+/// selecting concepts by value kind so every query is expressible.
+std::vector<CaseQuery> BuildCaseQueries(const synth::GeneratedCorpus& gc);
+
+/// \brief Renders a concept query into `lang`'s surface c-query, using all
+/// synonym forms as attribute alternations (the paper's a|b syntax).
+/// Constraints whose concept has no surface form in `lang` are dropped —
+/// the author of a query in that language cannot write them. Returns
+/// NotFound when the type itself does not exist in `lang`.
+util::Result<CQuery> RenderSurfaceQuery(const CaseQuery& cq,
+                                        const synth::GeneratedCorpus& gc,
+                                        const std::string& lang);
+
+/// \brief Deterministic relevance oracle: judges an answer article on a
+/// 0..4 scale by how many of the query's semantic constraints the
+/// underlying entity's facts satisfy.
+class RelevanceOracle {
+ public:
+  explicit RelevanceOracle(const synth::GeneratedCorpus* gc);
+
+  double Judge(const CaseQuery& cq, const std::string& lang,
+               const std::string& article_title) const;
+
+ private:
+  const synth::GeneratedCorpus* gc_;
+  // (lang, title) -> entity index
+  std::map<std::pair<std::string, std::string>, size_t> index_;
+};
+
+/// \brief One CG curve of Figure 4 (e.g. "Pt" or "Pt->En").
+struct CaseStudyCurve {
+  std::string label;
+  /// cg[k-1] = cumulative gain of the top-k answers summed over queries.
+  std::vector<double> cg;
+};
+
+/// \brief Runs the workload for one source language: native curve plus the
+/// translated-to-hub curve.
+///
+/// `translator` must translate source_lang -> hub queries (built from the
+/// WikiMatch pipeline output).
+util::Result<std::vector<CaseStudyCurve>> RunCaseStudy(
+    const synth::GeneratedCorpus& gc, const std::vector<CaseQuery>& queries,
+    const std::string& source_lang, const QueryTranslator& translator,
+    size_t top_k = 20);
+
+}  // namespace query
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_QUERY_CASE_STUDY_H_

@@ -1,0 +1,62 @@
+// c-query evaluation over a Corpus (the WikiQuery substrate of Section 5).
+//
+// Single-type parts scan the type's infoboxes; multi-type conjunctions join
+// through hyperlinks: an answer for the primary (first) part must link to —
+// or be linked from — an article satisfying each secondary part.
+
+#ifndef WIKIMATCH_QUERY_EVALUATOR_H_
+#define WIKIMATCH_QUERY_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "query/c_query.h"
+#include "util/result.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace query {
+
+/// \brief One ranked answer.
+struct Answer {
+  wiki::ArticleId article = wiki::kInvalidArticle;
+  /// Number of constraints the article satisfied (ranking key).
+  double score = 0.0;
+  /// Projected values, in constraint order across the primary part.
+  std::vector<std::string> projections;
+};
+
+/// \brief Evaluation options.
+struct EvaluatorOptions {
+  /// Maximum answers returned (the case study presents the top 20).
+  size_t top_k = 20;
+};
+
+/// \brief Evaluates c-queries against one language's infoboxes.
+class QueryEvaluator {
+ public:
+  QueryEvaluator(const wiki::Corpus* corpus, std::string language);
+
+  /// \brief Runs `q`; answers are articles of the first part's type,
+  /// ranked by score (descending), deterministically tie-broken by id.
+  ///
+  /// Returns OK with an empty list when nothing matches; NotFound when the
+  /// queried type has no infoboxes at all.
+  util::Result<std::vector<Answer>> Run(const CQuery& q,
+                                        const EvaluatorOptions& options
+                                        = {}) const;
+
+  /// \brief True iff `box` satisfies `constraint` (any attribute
+  /// alternative, equality on normalized text/anchor containment, numeric
+  /// comparison on the first number in the value).
+  static bool Satisfies(const wiki::Infobox& box, const Constraint& c);
+
+ private:
+  const wiki::Corpus* corpus_;
+  std::string language_;
+};
+
+}  // namespace query
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_QUERY_EVALUATOR_H_

@@ -1,0 +1,80 @@
+#include "query/translator.h"
+
+namespace wikimatch {
+namespace query {
+
+QueryTranslator::QueryTranslator(
+    std::string source_lang, std::string target_lang,
+    std::vector<match::TypeMatch> type_matches,
+    std::map<std::string, const eval::MatchSet*> attribute_matches,
+    const match::TranslationDictionary* dictionary)
+    : source_lang_(std::move(source_lang)),
+      target_lang_(std::move(target_lang)),
+      attribute_matches_(std::move(attribute_matches)),
+      dictionary_(dictionary) {
+  for (const auto& tm : type_matches) {
+    type_map_.emplace(tm.type_a, tm.type_b);
+  }
+}
+
+util::Result<CQuery> QueryTranslator::Translate(
+    const CQuery& q, TranslationReport* report) const {
+  TranslationReport local_report;
+  CQuery out;
+  for (const auto& part : q.parts) {
+    auto type_it = type_map_.find(part.type);
+    if (type_it == type_map_.end()) {
+      local_report.parts_dropped++;
+      continue;
+    }
+    TypeQuery translated;
+    translated.type = type_it->second;
+
+    const eval::MatchSet* matches = nullptr;
+    auto am_it = attribute_matches_.find(type_it->second);
+    if (am_it != attribute_matches_.end()) matches = am_it->second;
+
+    for (const auto& c : part.constraints) {
+      local_report.constraints_total++;
+      Constraint tc = c;
+      tc.attributes.clear();
+      for (const auto& attr : c.attributes) {
+        if (matches == nullptr) break;
+        for (const auto& target : matches->CorrespondentsOf(
+                 eval::AttrKey{source_lang_, attr}, target_lang_)) {
+          tc.attributes.push_back(target.name);
+        }
+      }
+      if (tc.attributes.empty()) {
+        // No correspondence: relax (drop) the constraint.
+        local_report.constraints_relaxed++;
+        continue;
+      }
+      // Translate string constants through the title dictionary.
+      if (!tc.is_projection && !tc.value.empty() && dictionary_ != nullptr) {
+        tc.value = dictionary_->TranslateOrKeep(source_lang_, tc.value,
+                                                target_lang_);
+      }
+      local_report.constraints_translated++;
+      translated.constraints.push_back(std::move(tc));
+    }
+    if (translated.constraints.empty() &&
+        !(&part == &q.parts[0])) {
+      // Fully relaxed secondary part: drop it.
+      local_report.parts_dropped++;
+      continue;
+    }
+    // A fully relaxed *primary* part stays as a bare type scan — WikiQuery
+    // still returns answers for relaxed queries, they are just rarely
+    // relevant (Section 5).
+    out.parts.push_back(std::move(translated));
+  }
+  if (report != nullptr) *report = local_report;
+  if (out.parts.empty()) {
+    return util::Status::NotFound("query untranslatable: every part dropped");
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace wikimatch

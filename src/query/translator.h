@@ -1,0 +1,60 @@
+// Query translation via discovered correspondences (Section 5): rewrite a
+// c-query from a source language into the target language using (1) the
+// type matches from TypeMatcher, (2) the per-type attribute MatchSets
+// derived by WikiMatch, and (3) the title dictionary for constants. A
+// constraint whose attribute has no correspondence is *relaxed* (dropped),
+// exactly as WikiQuery does.
+
+#ifndef WIKIMATCH_QUERY_TRANSLATOR_H_
+#define WIKIMATCH_QUERY_TRANSLATOR_H_
+
+#include <map>
+#include <string>
+
+#include "eval/match_set.h"
+#include "match/dictionary.h"
+#include "match/type_matcher.h"
+#include "query/c_query.h"
+#include "util/result.h"
+
+namespace wikimatch {
+namespace query {
+
+/// \brief Statistics about one translation.
+struct TranslationReport {
+  size_t constraints_total = 0;
+  size_t constraints_translated = 0;
+  size_t constraints_relaxed = 0;
+  size_t parts_dropped = 0;  ///< type queries with no type mapping
+};
+
+/// \brief Translates c-queries between languages using match output.
+class QueryTranslator {
+ public:
+  /// \param type_matches mapping of source types to target types.
+  /// \param attribute_matches per *target-language* type name: the derived
+  ///        attribute MatchSet for the pair.
+  /// \param dictionary title dictionary for translating constants.
+  QueryTranslator(std::string source_lang, std::string target_lang,
+                  std::vector<match::TypeMatch> type_matches,
+                  std::map<std::string, const eval::MatchSet*>
+                      attribute_matches,
+                  const match::TranslationDictionary* dictionary);
+
+  /// \brief Translates `q`, relaxing untranslatable constraints. Returns
+  /// NotFound when no part of the query could be translated at all.
+  util::Result<CQuery> Translate(const CQuery& q,
+                                 TranslationReport* report = nullptr) const;
+
+ private:
+  std::string source_lang_;
+  std::string target_lang_;
+  std::map<std::string, std::string> type_map_;  // source type -> target
+  std::map<std::string, const eval::MatchSet*> attribute_matches_;
+  const match::TranslationDictionary* dictionary_;
+};
+
+}  // namespace query
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_QUERY_TRANSLATOR_H_

@@ -1,0 +1,281 @@
+#include "synth/concept_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace wikimatch {
+namespace synth {
+
+util::Result<ValueKind> ValueKindFromString(const std::string& s) {
+  if (s == "date") return ValueKind::kDate;
+  if (s == "year") return ValueKind::kYear;
+  if (s == "number") return ValueKind::kNumber;
+  if (s == "duration") return ValueKind::kDuration;
+  if (s == "money") return ValueKind::kMoney;
+  if (s == "entity") return ValueKind::kEntity;
+  if (s == "entity_list") return ValueKind::kEntityList;
+  if (s == "place") return ValueKind::kPlace;
+  if (s == "term") return ValueKind::kTerm;
+  if (s == "text") return ValueKind::kText;
+  if (s == "name") return ValueKind::kName;
+  return util::Status::InvalidArgument("unknown value kind: " + s);
+}
+
+namespace {
+
+// Frequency classes for how often a concept appears in infoboxes of its
+// type: a few core attributes, a body of common ones, a tail of rare ones.
+double DrawBaseFrequency(util::Rng* rng) {
+  double roll = rng->NextDouble();
+  if (roll < 0.35) return 0.90;   // core
+  if (roll < 0.65) return 0.60;   // common
+  if (roll < 0.85) return 0.30;   // occasional
+  if (roll < 0.96) return 0.08;   // infrequent
+  return 0.004;                   // rare (paper: < 0.5% of infoboxes)
+}
+
+ValueKind DrawSynthesizedKind(util::Rng* rng) {
+  double roll = rng->NextDouble();
+  if (roll < 0.18) return ValueKind::kEntity;
+  if (roll < 0.26) return ValueKind::kEntityList;
+  if (roll < 0.36) return ValueKind::kDate;
+  if (roll < 0.41) return ValueKind::kYear;
+  if (roll < 0.48) return ValueKind::kPlace;
+  if (roll < 0.58) return ValueKind::kTerm;
+  if (roll < 0.64) return ValueKind::kNumber;
+  if (roll < 0.70) return ValueKind::kMoney;
+  if (roll < 0.74) return ValueKind::kDuration;
+  if (roll < 0.93) return ValueKind::kText;
+  return ValueKind::kName;
+}
+
+}  // namespace
+
+double ExpectedOverlap(const TypeModel& model, const std::string& hub,
+                       const std::string& lang) {
+  (void)hub;
+  double inter = 0.0;
+  double uni = 0.0;
+  for (const auto& c : model.concepts) {
+    auto ith = c.hub_prob.find(lang);
+    auto itl = c.include_prob.find(lang);
+    double ph = ith == c.hub_prob.end() ? 0.0 : ith->second;
+    double pl = itl == c.include_prob.end() ? 0.0 : itl->second;
+    inter += ph * pl;
+    uni += ph + pl - ph * pl;
+  }
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+util::Result<TypeModel> BuildTypeModel(const TypeModelConfig& config,
+                                       const std::string& hub,
+                                       util::Rng* rng) {
+  if (config.dual_count.empty()) {
+    return util::Status::InvalidArgument("type needs at least one language");
+  }
+  TypeModel model;
+  model.id = config.type_name;
+  model.dual_count = config.dual_count;
+
+  // All languages of this type: hub + non-hub ones.
+  std::vector<std::string> langs = {hub};
+  for (const auto& [lang, n] : config.dual_count) langs.push_back(lang);
+
+  // --- Type names -----------------------------------------------------------
+  WordGenerator en_gen(Morphology::kEnglish);
+  WordGenerator pt_gen(Morphology::kRomance);
+  WordGenerator vi_gen(Morphology::kVietnamese);
+  auto gen_for = [&](const std::string& lang) -> WordGenerator& {
+    if (lang == "pt") return pt_gen;
+    if (lang == "vi") return vi_gen;
+    return en_gen;
+  };
+
+  const auto& seed_names = SeedTypeNames();
+  auto seed_name_it = seed_names.find(config.type_name);
+  for (const auto& lang : langs) {
+    if (seed_name_it != seed_names.end()) {
+      auto it = seed_name_it->second.find(lang);
+      if (it != seed_name_it->second.end()) {
+        model.names[lang] = it->second;
+        continue;
+      }
+    }
+    if (lang == hub) {
+      model.names[lang] = config.type_name;
+    } else if (lang == "pt") {
+      model.names[lang] = pt_gen.Cognate(config.type_name, rng);
+    } else {
+      model.names[lang] = gen_for(lang).MakeWord(rng);
+    }
+  }
+
+  // --- Seeded concepts ------------------------------------------------------
+  const std::vector<SeedConcept>* seeds = nullptr;
+  if (config.type_name == "film") {
+    seeds = &FilmSeedConcepts();
+  } else if (config.type_name == "actor" || config.type_name == "adult actor") {
+    seeds = &ActorSeedConcepts();
+  }
+  if (seeds != nullptr) {
+    for (const auto& seed : *seeds) {
+      Concept c;
+      c.id = seed.id;
+      WIKIMATCH_ASSIGN_OR_RETURN(c.kind, ValueKindFromString(seed.kind));
+      for (const auto& lang : langs) {
+        auto it = seed.forms.find(lang);
+        if (it != seed.forms.end()) c.forms[lang] = it->second;
+      }
+      c.base_freq = DrawBaseFrequency(rng);
+      // Seeded core attributes should actually show up.
+      c.base_freq = std::max(c.base_freq, 0.3);
+      model.concepts.push_back(std::move(c));
+    }
+  }
+
+  // --- Synthesized concepts -------------------------------------------------
+  while (model.concepts.size() < config.num_concepts) {
+    Concept c;
+    c.id = config.type_name + "_c" + std::to_string(model.concepts.size());
+    c.kind = DrawSynthesizedKind(rng);
+    c.base_freq = DrawBaseFrequency(rng);
+
+    bool exclusive = rng->NextBool(config.p_exclusive);
+    std::string exclusive_lang;
+    if (exclusive) {
+      exclusive_lang = langs[rng->NextBounded(langs.size())];
+    }
+
+    // English form first; other languages derive from it.
+    size_t en_words = 1 + rng->NextBounded(2);
+    std::string en_form = en_gen.MakePhrase(rng, en_words);
+    for (const auto& lang : langs) {
+      if (exclusive && lang != exclusive_lang) continue;
+      std::vector<std::string> forms;
+      if (lang == hub) {
+        forms.push_back(en_form);
+        if (rng->NextBool(config.p_second_form)) {
+          forms.push_back(en_gen.MakePhrase(rng, 1 + rng->NextBounded(2)));
+        }
+      } else if (lang == "pt") {
+        double roll = rng->NextDouble();
+        if (roll < config.false_cognate_rate && !model.concepts.empty()) {
+          // False cognate: derive from a *different* concept's En form so
+          // the string-similar pair is semantically wrong.
+          const Concept& other =
+              model.concepts[rng->NextBounded(model.concepts.size())];
+          auto oth = other.forms.find(hub);
+          std::string base = oth != other.forms.end() && !oth->second.empty()
+                                 ? oth->second[0]
+                                 : en_form;
+          forms.push_back(pt_gen.Cognate(base, rng));
+        } else if (roll < config.false_cognate_rate + config.cognate_rate) {
+          forms.push_back(pt_gen.Cognate(en_form, rng));
+        } else {
+          forms.push_back(pt_gen.MakePhrase(rng, 1 + rng->NextBounded(2)));
+        }
+        if (rng->NextBool(config.p_second_form)) {
+          forms.push_back(pt_gen.MakePhrase(rng, 1 + rng->NextBounded(2)));
+        }
+      } else {
+        forms.push_back(gen_for(lang).MakePhrase(rng, 1));
+        if (rng->NextBool(config.p_second_form)) {
+          forms.push_back(gen_for(lang).MakePhrase(rng, 1));
+        }
+      }
+      c.forms[lang] = std::move(forms);
+    }
+    if (c.forms.empty()) continue;  // Exclusive to a language not in scope.
+    model.concepts.push_back(std::move(c));
+  }
+
+  // --- Overlap-driven expression dropout --------------------------------------
+  // Low cross-language overlap on real Wikipedia comes mostly from
+  // *language-exclusive* attributes (each community maintains its own
+  // template fields), not from every shared attribute being rare. Before
+  // calibrating inclusion probabilities, drop each concept's expression in
+  // a non-hub language with a probability that grows as the pair's target
+  // overlap falls, keeping a protected core of shared concepts.
+  for (const auto& [lang, n] : config.dual_count) {
+    auto target_it = config.overlap.find(lang);
+    double target = target_it == config.overlap.end() ? 0.5
+                                                      : target_it->second;
+    double dropout = std::max(0.0, 0.6 * (1.0 - 1.25 * target));
+    if (dropout <= 0.0) continue;
+    size_t shared = 0;
+    for (const auto& c : model.concepts) {
+      if (c.forms.count(hub) > 0 && c.forms.count(lang) > 0) ++shared;
+    }
+    constexpr size_t kMinShared = 5;
+    for (auto& c : model.concepts) {
+      if (shared <= kMinShared) break;
+      if (c.forms.count(hub) == 0 || c.forms.count(lang) == 0) continue;
+      if (rng->NextBool(dropout)) {
+        c.forms.erase(lang);
+        --shared;
+      }
+    }
+  }
+
+  // --- Calibration per (hub, lang) pair --------------------------------------
+  // Entities (and therefore hub-side infoboxes) are generated per pair, so
+  // each pair calibrates independently: scale both sides' shared-concept
+  // probabilities by a common factor s (capped at 1) until the expected
+  // overlap matches the target. Overlap is monotone in s, so bisection
+  // converges.
+  for (const auto& [lang, n] : config.dual_count) {
+    auto target_it = config.overlap.find(lang);
+    double target = target_it == config.overlap.end() ? 0.5
+                                                      : target_it->second;
+    auto trial = [&](double s) {
+      double inter = 0.0;
+      double uni = 0.0;
+      for (const auto& c : model.concepts) {
+        bool in_hub = c.forms.count(hub) > 0;
+        bool in_lang = c.forms.count(lang) > 0;
+        double ph = in_hub ? c.base_freq : 0.0;
+        double pl = in_lang ? c.base_freq : 0.0;
+        if (in_hub && in_lang) {
+          ph = std::min(1.0, ph * s);
+          pl = std::min(1.0, pl * s);
+        }
+        inter += ph * pl;
+        uni += ph + pl - ph * pl;
+      }
+      return uni <= 0.0 ? 0.0 : inter / uni;
+    };
+    // Shared attributes must stay reasonably frequent — overlap below what
+    // s_min yields is carried by the exclusive-attribute mass above.
+    double lo = 0.55;
+    double hi = 400.0;
+    for (int iter = 0; iter < 64; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      if (trial(mid) < target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    double s = 0.5 * (lo + hi);
+    for (auto& c : model.concepts) {
+      bool in_hub = c.forms.count(hub) > 0;
+      bool in_lang = c.forms.count(lang) > 0;
+      bool shared = in_hub && in_lang;
+      if (in_hub) {
+        c.hub_prob[lang] =
+            shared ? std::min(1.0, c.base_freq * s) : c.base_freq;
+      }
+      if (in_lang) {
+        c.include_prob[lang] =
+            shared ? std::min(1.0, c.base_freq * s) : c.base_freq;
+      }
+    }
+  }
+
+  return model;
+}
+
+}  // namespace synth
+}  // namespace wikimatch

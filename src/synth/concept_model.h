@@ -1,0 +1,120 @@
+// Concept model: the semantic layer behind the synthetic corpus.
+//
+// Each entity type (film, actor, ...) owns a set of language-independent
+// concepts. A concept has a value kind, one or more surface forms per
+// language (synonyms -> intra-language synonymy and one-to-many matches),
+// and a per-language inclusion probability calibrated so that generated
+// dual-language infobox pairs hit the paper's measured attribute-overlap
+// targets (Table 5). The concept -> surface-form mapping *is* the ground
+// truth used by the evaluation.
+
+#ifndef WIKIMATCH_SYNTH_CONCEPT_MODEL_H_
+#define WIKIMATCH_SYNTH_CONCEPT_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/lexicon.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace synth {
+
+/// \brief What kind of value a concept carries.
+enum class ValueKind {
+  kDate,        // full date, language-specific rendering
+  kYear,        // bare year
+  kNumber,      // plain number
+  kDuration,    // number + unit word (minutes/minutos/phút)
+  kMoney,       // currency amount
+  kEntity,      // link to one support entity (person/org)
+  kEntityList,  // links to 2..4 support entities
+  kPlace,       // link to a place (country) with translated titles
+  kTerm,        // link to a term article (genre/occupation/language)
+  kText,        // free per-language text, untranslated
+  kName,        // a name/alias of the entity itself
+};
+
+/// \brief Parses the seed-lexicon kind tag ("entity", "date", ...).
+util::Result<ValueKind> ValueKindFromString(const std::string& s);
+
+/// \brief One concept of a type.
+struct Concept {
+  /// Stable id, unique within the type (e.g. "directed_by").
+  std::string id;
+  ValueKind kind = ValueKind::kText;
+  /// Surface forms per language; forms[0] is dominant. A language missing
+  /// from the map does not express the concept at all.
+  std::map<std::string, std::vector<std::string>> forms;
+  /// Probability that an infobox in the given non-hub language includes
+  /// this concept (after calibration).
+  std::map<std::string, double> include_prob;
+  /// Hub-side inclusion probability, per pair: entities are generated per
+  /// (hub, lang) pair, so the hub infoboxes of different pairs may be
+  /// calibrated independently. Keyed by the non-hub language.
+  std::map<std::string, double> hub_prob;
+  /// Base frequency class in [0,1] before calibration.
+  double base_freq = 0.5;
+  /// For kEntity/kEntityList/kTerm: index range of the concept's value
+  /// domain within the corresponding support pool, [domain_begin,
+  /// domain_end).
+  size_t domain_begin = 0;
+  size_t domain_end = 0;
+};
+
+/// \brief The model of one entity type.
+struct TypeModel {
+  /// Hub-language name used as the type's key ("film").
+  std::string id;
+  /// Localized infobox template type names, per language.
+  std::map<std::string, std::string> names;
+  std::vector<Concept> concepts;
+  /// Non-hub languages in which this type exists, with the number of
+  /// dual-language infobox pairs to generate per language.
+  std::map<std::string, size_t> dual_count;
+};
+
+/// \brief Configuration for BuildTypeModel.
+struct TypeModelConfig {
+  std::string type_name;
+  /// Concepts to synthesize when no seed lexicon exists for the type; when
+  /// a seed exists it contributes its concepts first and synthesis tops up
+  /// to this number.
+  size_t num_concepts = 16;
+  /// Non-hub language -> number of dual infobox pairs.
+  std::map<std::string, size_t> dual_count;
+  /// Non-hub language -> target cross-language attribute overlap (0..1).
+  std::map<std::string, double> overlap;
+  /// Probability that a concept gets a second synonym form in a language.
+  double p_second_form = 0.25;
+  /// Fraction of synthesized concepts made exclusive to a single language.
+  double p_exclusive = 0.12;
+  /// Probability that a synthesized Pt form is a cognate of the En form.
+  double cognate_rate = 0.45;
+  /// Probability that a synthesized Pt form is a *false* cognate: derived
+  /// from a different concept's En form (the editora/editor trap).
+  double false_cognate_rate = 0.06;
+};
+
+/// \brief Builds a calibrated TypeModel.
+///
+/// `hub` is the pivot language ("en"). Concepts for seeded types ("film",
+/// "actor") start from the paper's real attribute names; remaining concepts
+/// are synthesized with the requested morphologies. Inclusion probabilities
+/// are calibrated per language pair by bisection so the expected pairwise
+/// schema overlap matches `config.overlap`.
+util::Result<TypeModel> BuildTypeModel(const TypeModelConfig& config,
+                                       const std::string& hub,
+                                       util::Rng* rng);
+
+/// \brief Expected schema overlap of a (hub, lang) infobox pair under the
+/// model's inclusion probabilities (the quantity calibration targets).
+double ExpectedOverlap(const TypeModel& model, const std::string& hub,
+                       const std::string& lang);
+
+}  // namespace synth
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SYNTH_CONCEPT_MODEL_H_

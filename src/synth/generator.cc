@@ -1,0 +1,577 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "text/normalize.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "wiki/wikitext_parser.h"
+
+namespace wikimatch {
+namespace synth {
+
+namespace {
+
+// Tracks used titles per language and disambiguates collisions.
+class TitleRegistry {
+ public:
+  // Returns a normalized, unique form of `raw` in `lang`.
+  std::string Claim(const std::string& lang, const std::string& raw) {
+    std::string base = text::NormalizeTitle(raw);
+    if (base.empty()) base = "untitled";
+    std::string candidate = base;
+    int n = 2;
+    while (!used_[lang].insert(candidate).second) {
+      candidate = base + " (" + std::to_string(n++) + ")";
+    }
+    return candidate;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> used_;
+};
+
+std::string AcronymOf(const std::string& name) {
+  std::string out;
+  bool word_start = true;
+  for (char c : name) {
+    if (c == ' ') {
+      word_start = true;
+    } else {
+      if (word_start) out.push_back(c);
+      word_start = false;
+    }
+  }
+  return out;
+}
+
+// Localized infobox template head per language.
+std::string TemplateHead(const std::string& lang) {
+  if (lang == "pt") return "Info ";
+  if (lang == "vi") return "Hộp thông tin ";
+  return "Infobox ";
+}
+
+}  // namespace
+
+GeneratorOptions GeneratorOptions::Paper(double scale) {
+  GeneratorOptions o;
+  o.scale = scale;
+  struct Row {
+    const char* name;
+    size_t pt;
+    size_t vi;
+    double overlap_pt;
+    double overlap_vi;
+    size_t concepts;
+  };
+  // Dual-infobox counts sum to the paper's 8,898 (Pt-En) and 659 (Vn-En);
+  // overlap targets are Table 5.
+  static const Row kRows[] = {
+      {"film", 3000, 400, 0.36, 0.87, 18},
+      {"show", 800, 120, 0.45, 0.75, 16},
+      {"actor", 1200, 80, 0.42, 0.46, 14},
+      {"artist", 900, 59, 0.52, 0.67, 16},
+      {"channel", 150, 0, 0.15, 0.0, 14},
+      {"company", 500, 0, 0.31, 0.0, 15},
+      {"comics character", 300, 0, 0.59, 0.0, 14},
+      {"album", 1000, 0, 0.52, 0.0, 15},
+      {"adult actor", 120, 0, 0.47, 0.0, 13},
+      {"book", 400, 0, 0.38, 0.0, 15},
+      {"episode", 250, 0, 0.31, 0.0, 13},
+      {"writer", 150, 0, 0.63, 0.0, 14},
+      {"comics", 80, 0, 0.47, 0.0, 13},
+      {"fictional character", 48, 0, 0.32, 0.0, 14},
+  };
+  for (const Row& row : kRows) {
+    TypeModelConfig cfg;
+    cfg.type_name = row.name;
+    cfg.num_concepts = row.concepts;
+    cfg.dual_count["pt"] = row.pt;
+    cfg.overlap["pt"] = row.overlap_pt;
+    if (row.vi > 0) {
+      cfg.dual_count["vi"] = row.vi;
+      cfg.overlap["vi"] = row.overlap_vi;
+    }
+    o.types.push_back(std::move(cfg));
+  }
+  return o;
+}
+
+GeneratorOptions GeneratorOptions::Tiny(uint64_t seed) {
+  GeneratorOptions o;
+  o.seed = seed;
+  o.scale = 1.0;
+  o.num_places = 12;
+  o.num_terms = 16;
+  TypeModelConfig film;
+  film.type_name = "film";
+  film.num_concepts = 10;
+  film.dual_count["pt"] = 60;
+  film.dual_count["vi"] = 30;
+  film.overlap["pt"] = 0.45;
+  film.overlap["vi"] = 0.80;
+  o.types.push_back(film);
+  TypeModelConfig actor;
+  actor.type_name = "actor";
+  actor.num_concepts = 10;
+  actor.dual_count["pt"] = 50;
+  actor.overlap["pt"] = 0.42;
+  o.types.push_back(actor);
+  return o;
+}
+
+CorpusGenerator::CorpusGenerator(GeneratorOptions options)
+    : options_(std::move(options)) {}
+
+util::Result<GeneratedCorpus> CorpusGenerator::Generate() {
+  util::Rng rng(options_.seed);
+  GeneratedCorpus out;
+  out.hub = options_.hub;
+
+  WordGenerator en_gen(Morphology::kEnglish);
+  WordGenerator pt_gen(Morphology::kRomance);
+  WordGenerator vi_gen(Morphology::kVietnamese);
+  auto gen_for = [&](const std::string& lang) -> const WordGenerator& {
+    if (lang == "pt") return pt_gen;
+    if (lang == "vi") return vi_gen;
+    return en_gen;
+  };
+
+  // All languages in play.
+  std::set<std::string> lang_set = {options_.hub};
+  for (const auto& cfg : options_.types) {
+    for (const auto& [lang, n] : cfg.dual_count) lang_set.insert(lang);
+  }
+  std::vector<std::string> langs(lang_set.begin(), lang_set.end());
+
+  // --- 1. Type models (with scaled dual counts) -----------------------------
+  size_t total_dual = 0;
+  for (TypeModelConfig cfg : options_.types) {
+    for (auto& [lang, n] : cfg.dual_count) {
+      n = std::max<size_t>(
+          8, static_cast<size_t>(std::llround(static_cast<double>(n) *
+                                              options_.scale)));
+      total_dual += n;
+    }
+    util::Rng model_rng = rng.Fork(std::hash<std::string>{}(cfg.type_name));
+    WIKIMATCH_ASSIGN_OR_RETURN(TypeModel model,
+                               BuildTypeModel(cfg, options_.hub, &model_rng));
+    out.models.emplace(model.id, std::move(model));
+  }
+
+  // --- 2. Support pools ------------------------------------------------------
+  TitleRegistry titles;
+  util::Rng pool_rng = rng.Fork(1);
+
+  size_t num_persons = std::max<size_t>(
+      60, static_cast<size_t>(static_cast<double>(total_dual) *
+                              options_.persons_per_entity));
+  for (size_t i = 0; i < num_persons; ++i) {
+    SupportEntity person;
+    std::string name = en_gen.MakeProperName(&pool_rng, 2);
+    // Persons keep one Latin-script name across languages (as on Wikipedia).
+    bool translated = pool_rng.NextBool(0.12);
+    for (const auto& lang : langs) {
+      std::string local = name;
+      if (translated && lang == "pt") {
+        local = pt_gen.MakeProperName(&pool_rng, 2);
+      }
+      person.titles[lang] = titles.Claim(lang, local);
+    }
+    if (pool_rng.NextBool(0.2)) {
+      // Alias: initial + surname ("a. belluci").
+      std::string norm = text::NormalizeTitle(name);
+      size_t space = norm.find(' ');
+      if (space != std::string::npos) {
+        std::string alias = norm.substr(0, 1) + "." + norm.substr(space);
+        for (const auto& lang : langs) person.aliases[lang] = alias;
+      }
+    }
+    out.supports.entities.push_back(std::move(person));
+  }
+
+  for (size_t i = 0; i < options_.num_places; ++i) {
+    SupportEntity place;
+    std::string en_name = en_gen.MakeProperName(&pool_rng, 1 + pool_rng.NextBounded(2));
+    for (const auto& lang : langs) {
+      std::string local;
+      if (lang == options_.hub) {
+        local = en_name;
+      } else if (lang == "pt") {
+        local = pool_rng.NextBool(0.6) ? pt_gen.Cognate(en_name, &pool_rng)
+                                       : pt_gen.MakeProperName(&pool_rng, 1);
+      } else {
+        local = gen_for(lang).MakeProperName(&pool_rng, 1 + pool_rng.NextBounded(2));
+      }
+      place.titles[lang] = titles.Claim(lang, local);
+    }
+    if (pool_rng.NextBool(0.3)) {
+      // "usa"-style acronym anchor variant in the hub language.
+      std::string acro = AcronymOf(place.titles[options_.hub]);
+      if (acro.size() >= 2) place.aliases[options_.hub] = acro;
+    }
+    out.supports.places.push_back(std::move(place));
+  }
+
+  for (size_t i = 0; i < options_.num_terms; ++i) {
+    SupportEntity term;
+    std::string en_name = en_gen.MakeWord(&pool_rng);
+    for (const auto& lang : langs) {
+      std::string local;
+      if (lang == options_.hub) {
+        local = en_name;
+      } else if (lang == "pt") {
+        local = pool_rng.NextBool(0.5) ? pt_gen.Cognate(en_name, &pool_rng)
+                                       : pt_gen.MakeWord(&pool_rng);
+      } else {
+        local = gen_for(lang).MakeWord(&pool_rng);
+      }
+      term.titles[lang] = titles.Claim(lang, local);
+    }
+    out.supports.terms.push_back(std::move(term));
+  }
+
+  // Day and year pages (the targets of linked dates).
+  for (int month = 1; month <= 12; ++month) {
+    for (int day = 1; day <= 28; ++day) {
+      SupportEntity page;
+      for (const auto& lang : langs) {
+        std::string title;
+        if (lang == "pt") {
+          title = std::to_string(day) + " de " + MonthName(month, lang);
+        } else if (lang == "vi") {
+          title = std::to_string(day) + " tháng " + std::to_string(month);
+        } else {
+          title = MonthName(month, lang) + " " + std::to_string(day);
+        }
+        page.titles[lang] = titles.Claim(lang, title);
+      }
+      out.supports.day_pages.push_back(std::move(page));
+    }
+  }
+  for (int year = SupportPools::kFirstYear; year <= SupportPools::kLastYear;
+       ++year) {
+    SupportEntity page;
+    for (const auto& lang : langs) {
+      page.titles[lang] = titles.Claim(lang, std::to_string(year));
+    }
+    out.supports.year_pages.push_back(std::move(page));
+  }
+
+  // Assign per-cpt value domains now that pools are sized.
+  for (auto& [type_id, model] : out.models) {
+    util::Rng dom_rng = rng.Fork(0x0D0D ^ std::hash<std::string>{}(type_id));
+    // Entity-valued concepts of one type share a person neighborhood (the
+    // same directors star in and produce films), so their domains overlap
+    // heavily — the source of high-similarity *wrong* pairs that the
+    // LSI-ordered processing has to get right.
+    size_t entity_pool = out.supports.entities.size();
+    size_t type_span = std::min(entity_pool, std::max<size_t>(60, entity_pool / 12));
+    size_t type_base =
+        entity_pool > type_span
+            ? dom_rng.NextBounded(entity_pool - type_span + 1)
+            : 0;
+    for (auto& cpt : model.concepts) {
+      size_t pool_size = 0;
+      size_t want = 0;
+      switch (cpt.kind) {
+        case ValueKind::kEntity:
+        case ValueKind::kEntityList: {
+          size_t span = std::max<size_t>(10, type_span * 7 / 10);
+          // Small offsets keep the Zipf heads of sibling concepts aligned:
+          // the type's most popular people dominate *every* entity-valued
+          // attribute, as on real Wikipedia.
+          size_t offset = dom_rng.NextBounded(std::max<size_t>(1, type_span / 16));
+          cpt.domain_begin = std::min(type_base + offset, entity_pool - 1);
+          cpt.domain_end = std::min(entity_pool, cpt.domain_begin + span);
+          continue;
+        }
+        case ValueKind::kTerm:
+          pool_size = out.supports.terms.size();
+          want = std::min<size_t>(pool_size, 4 + dom_rng.NextBounded(7));
+          break;
+        case ValueKind::kPlace:
+          pool_size = out.supports.places.size();
+          want = std::min<size_t>(pool_size, 10 + dom_rng.NextBounded(20));
+          break;
+        case ValueKind::kDate:
+          // Composite dates draw their place component from the whole
+          // places pool, shared by every date attribute of the type — this
+          // is what makes born/died-style pairs confusable.
+          pool_size = out.supports.places.size();
+          want = pool_size;
+          break;
+        default:
+          continue;
+      }
+      if (want == 0) want = pool_size;
+      cpt.domain_begin =
+          pool_size > want ? dom_rng.NextBounded(pool_size - want + 1) : 0;
+      cpt.domain_end = cpt.domain_begin + want;
+    }
+  }
+
+  // --- 3. Support articles ---------------------------------------------------
+  wiki::WikitextParser parser;
+  auto add_article = [&](const std::string& lang, const std::string& title,
+                         const std::string& wikitext) -> util::Status {
+    auto parsed = parser.ParseArticle(title, lang, wikitext);
+    if (!parsed.ok()) return parsed.status();
+    auto id = out.corpus.AddArticle(std::move(parsed).ValueOrDie());
+    return id.ok() ? util::Status::OK() : id.status();
+  };
+
+  auto support_wikitext = [&](const SupportEntity& e,
+                              const std::string& lang) {
+    std::string body =
+        "'''" + e.titles.at(lang) + "''' is a reference article.\n";
+    for (const auto& [other, title] : e.titles) {
+      if (other != lang) body += "[[" + other + ":" + title + "]]\n";
+    }
+    return body;
+  };
+  util::Rng coverage_rng = rng.Fork(0xC0F);
+  for (auto* pool :
+       {&out.supports.entities, &out.supports.places, &out.supports.terms,
+        &out.supports.day_pages, &out.supports.year_pages}) {
+    for (auto& e : *pool) {
+      for (const auto& lang : langs) {
+        // Under-represented wikis are missing many pages; links to them
+        // stay red and their titles never enter the dictionary.
+        auto cov_it = options_.support_coverage.find(lang);
+        double coverage =
+            lang == options_.hub || cov_it == options_.support_coverage.end()
+                ? 1.0
+                : cov_it->second;
+        if (!coverage_rng.NextBool(coverage)) continue;
+        WIKIMATCH_RETURN_NOT_OK(
+            add_article(lang, e.titles.at(lang), support_wikitext(e, lang)));
+        // Aliases become redirect pages (when their title is free), so
+        // links may target the alias and resolve through the redirect.
+        auto alias_it = e.aliases.find(lang);
+        if (alias_it != e.aliases.end()) {
+          std::string claimed = titles.Claim(lang, alias_it->second);
+          if (claimed == text::NormalizeTitle(alias_it->second)) {
+            WIKIMATCH_RETURN_NOT_OK(add_article(
+                lang, claimed,
+                "#REDIRECT [[" + e.titles.at(lang) + "]]\n"));
+            e.alias_is_page[lang] = true;
+          }
+        }
+      }
+    }
+  }
+
+  // --- 4. Entities and infobox articles --------------------------------------
+  // Crossref targets (e.g. actor for film.starring) must be generated
+  // before their sources so the source's refs have a populated registry.
+  std::vector<std::string> type_order;
+  {
+    std::set<std::string> targets;
+    std::set<std::string> sources;
+    for (const auto& [key, target] : options_.crossrefs) {
+      sources.insert(key.first);
+      targets.insert(target);
+    }
+    auto rank = [&](const std::string& id) {
+      if (targets.count(id) > 0) return 0;
+      if (sources.count(id) > 0) return 2;
+      return 1;
+    };
+    for (const auto& [type_id, model] : out.models) {
+      type_order.push_back(type_id);
+    }
+    std::stable_sort(type_order.begin(), type_order.end(),
+                     [&](const std::string& x, const std::string& y) {
+                       return rank(x) < rank(y);
+                     });
+  }
+  for (const std::string& type_id : type_order) {
+    TypeModel& model = out.models.at(type_id);
+    util::Rng type_rng = rng.Fork(0xE0 ^ std::hash<std::string>{}(type_id));
+    for (const auto& [pair_lang, n_dual] : model.dual_count) {
+      size_t n_extra = static_cast<size_t>(
+          std::llround(static_cast<double>(n_dual) * options_.p_hub_only_extra));
+      for (size_t e = 0; e < n_dual + n_extra; ++e) {
+        bool hub_only = e >= n_dual;
+        EntityRecord rec;
+        rec.type = type_id;
+        rec.pair_lang = hub_only ? "" : pair_lang;
+
+        // Titles.
+        std::string hub_title = en_gen.MakeProperName(&type_rng, 2 + type_rng.NextBounded(2));
+        rec.titles[options_.hub] = titles.Claim(options_.hub, hub_title);
+        if (!hub_only) {
+          std::string local_title;
+          if (type_rng.NextBool(options_.p_same_title)) {
+            local_title = hub_title;
+          } else if (pair_lang == "pt") {
+            local_title = pt_gen.MakeProperName(&type_rng, 2);
+          } else {
+            local_title =
+                gen_for(pair_lang).MakeProperName(&type_rng, 2);
+          }
+          rec.titles[pair_lang] = titles.Claim(pair_lang, local_title);
+        }
+
+        // Facts: one per cpt the model knows.
+        for (const auto& cpt : model.concepts) {
+          rec.facts[cpt.id] = DrawFact(cpt.kind, cpt.domain_begin,
+                                           cpt.domain_end, en_gen,
+                                           &type_rng);
+          // Cross-type references point at generated entities of the
+          // target type within this language pair.
+          auto cross_it = options_.crossrefs.find({type_id, cpt.id});
+          if (cross_it != options_.crossrefs.end()) {
+            auto reg_it = out.entities_by_type_pair.find(
+                {cross_it->second, pair_lang});
+            if (reg_it != out.entities_by_type_pair.end() &&
+                !reg_it->second.empty()) {
+              Fact& fact = rec.facts[cpt.id];
+              fact.crossref_type = cross_it->second;
+              fact.ref = -1;
+              size_t count = std::max<size_t>(1, fact.refs.size());
+              fact.refs.clear();
+              for (size_t k = 0; k < count; ++k) {
+                // Store *global* entity indexes so consumers (rendering,
+                // relevance oracle) need no registry context.
+                fact.refs.push_back(static_cast<int>(
+                    reg_it->second[type_rng.NextZipf(
+                        reg_it->second.size(), 1.0)]));
+              }
+            }
+          }
+        }
+
+        // Shared inclusion draws: with probability schema_correlation a
+        // language side reuses this draw instead of an independent one,
+        // correlating attribute presence across the dual pair.
+        std::map<std::string, double> shared_draw;
+        for (const auto& cpt : model.concepts) {
+          shared_draw[cpt.id] = type_rng.NextDouble();
+        }
+
+        // Emit articles.
+        std::vector<std::string> article_langs = {options_.hub};
+        if (!hub_only) article_langs.push_back(pair_lang);
+        for (const auto& lang : article_langs) {
+          // Schema sampling.
+          std::vector<std::pair<std::string, std::string>> attrs;
+          for (const auto& cpt : model.concepts) {
+            auto form_it = cpt.forms.find(lang);
+            if (form_it == cpt.forms.end()) continue;
+            double p = 0.0;
+            if (lang == options_.hub) {
+              auto it = cpt.hub_prob.find(pair_lang);
+              p = it != cpt.hub_prob.end() ? it->second
+                                               : cpt.base_freq;
+            } else {
+              auto it = cpt.include_prob.find(lang);
+              p = it != cpt.include_prob.end() ? it->second : 0.0;
+            }
+            double draw = type_rng.NextBool(options_.schema_correlation)
+                              ? shared_draw[cpt.id]
+                              : type_rng.NextDouble();
+            if (draw >= p) continue;
+            const auto& forms = form_it->second;
+            size_t pick = 0;
+            if (forms.size() > 1 && !type_rng.NextBool(0.75)) {
+              pick = 1 + type_rng.NextBounded(forms.size() - 1);
+            }
+            // Non-hub sides sometimes report a divergent fact (different
+            // credited person, different figure) — the paper's pervasive
+            // cross-language value inconsistencies.
+            Fact fact = rec.facts.at(cpt.id);
+            if (fact.crossref_type.empty() && lang != options_.hub &&
+                type_rng.NextBool(options_.p_fact_divergence)) {
+              fact = DrawFact(cpt.kind, cpt.domain_begin, cpt.domain_end,
+                              en_gen, &type_rng);
+            }
+            std::string value;
+            if (!fact.crossref_type.empty()) {
+              // Links to generated entities of the target type.
+              std::vector<std::string> parts;
+              for (int ref : fact.refs) {
+                if (!parts.empty() &&
+                    type_rng.NextBool(0.25)) {
+                  continue;  // Lists are rarely complete on both sides.
+                }
+                const EntityRecord& target =
+                    out.entities[static_cast<size_t>(ref)];
+                auto title_it = target.titles.find(lang);
+                const std::string& title = title_it != target.titles.end()
+                                               ? title_it->second
+                                               : target.titles.at(options_.hub);
+                parts.push_back(
+                    type_rng.NextBool(options_.noise.p_link_drop)
+                        ? title
+                        : "[[" + title + "]]");
+              }
+              value = util::Join(parts, ", ");
+              if (value.empty()) continue;
+            } else {
+              value = RenderValue(fact, lang, out.supports, options_.noise,
+                                  gen_for(lang), &type_rng);
+            }
+            attrs.emplace_back(forms[pick], value);
+          }
+          // Misplacement noise: swap two values.
+          if (attrs.size() >= 2 && type_rng.NextBool(options_.p_misplace)) {
+            size_t i = type_rng.NextBounded(attrs.size());
+            size_t j = type_rng.NextBounded(attrs.size());
+            if (i != j) std::swap(attrs[i].second, attrs[j].second);
+          }
+
+          // Wikitext.
+          std::string body = "{{" + TemplateHead(lang) + model.names.at(lang);
+          for (const auto& [attr, value] : attrs) {
+            body += "\n| " + attr + " = " + value;
+          }
+          body += "\n}}\n\n'''" + rec.titles.at(lang) +
+                  "''' is an article of type " + model.names.at(lang) + ".\n";
+          body += "[[category:" + model.names.at(lang) + "]]\n";
+          for (const auto& [other, title] : rec.titles) {
+            if (other != lang) body += "[[" + other + ":" + title + "]]\n";
+          }
+          WIKIMATCH_RETURN_NOT_OK(
+              add_article(lang, rec.titles.at(lang), body));
+        }
+        if (!hub_only) {
+          out.entities_by_type_pair[{type_id, pair_lang}].push_back(
+              out.entities.size());
+        }
+        out.entities.push_back(std::move(rec));
+      }
+    }
+  }
+
+  out.corpus.Finalize();
+
+  // --- 5. Ground truth + type-name map ---------------------------------------
+  for (const auto& [type_id, model] : out.models) {
+    eval::MatchSet& truth = out.ground_truth[type_id];
+    for (const auto& cpt : model.concepts) {
+      std::vector<eval::AttrKey> cluster;
+      for (const auto& [lang, forms] : cpt.forms) {
+        for (const auto& form : forms) {
+          cluster.push_back(
+              eval::AttrKey{lang, text::NormalizeAttributeName(form)});
+        }
+      }
+      truth.AddCluster(cluster);
+    }
+    for (const auto& [lang, name] : model.names) {
+      out.hub_type_of[{lang, text::NormalizeAttributeName(name)}] = type_id;
+    }
+  }
+
+  WIKIMATCH_LOG(Info) << "generated corpus: " << out.corpus.size()
+                      << " articles, " << out.entities.size() << " entities";
+  return out;
+}
+
+}  // namespace synth
+}  // namespace wikimatch

@@ -1,0 +1,133 @@
+// Corpus generator: produces a multilingual Wikipedia-like corpus with
+// infoboxes, hyperlinks, and cross-language links, plus the concept-level
+// ground truth — the stand-in for the paper's Wikipedia dumps and human
+// labeling (see DESIGN.md section 1 for the substitution argument).
+//
+// Articles are emitted as real wikitext and run through WikitextParser, so
+// the entire ingest path is exercised, not just the data model.
+
+#ifndef WIKIMATCH_SYNTH_GENERATOR_H_
+#define WIKIMATCH_SYNTH_GENERATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/match_set.h"
+#include "synth/concept_model.h"
+#include "synth/support_pool.h"
+#include "synth/value_render.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace synth {
+
+/// \brief One generated dual-language (or hub-only) entity.
+struct EntityRecord {
+  /// Hub type id ("film").
+  std::string type;
+  /// The non-hub language this entity's pair belongs to; empty for
+  /// hub-only extras.
+  std::string pair_lang;
+  /// Normalized article titles per language.
+  std::map<std::string, std::string> titles;
+  /// Concept id -> fact.
+  std::map<std::string, Fact> facts;
+};
+
+/// \brief Everything the experiments need.
+struct GeneratedCorpus {
+  wiki::Corpus corpus;
+  /// Hub language code.
+  std::string hub;
+  /// Type models by hub type id.
+  std::map<std::string, TypeModel> models;
+  /// Ground truth per hub type id: clusters of synonymous attribute surface
+  /// forms across all languages.
+  std::map<std::string, eval::MatchSet> ground_truth;
+  /// All generated entities (for the query case-study relevance oracle).
+  std::vector<EntityRecord> entities;
+  /// Indexes into `entities` per (type, pair language) — the ref space of
+  /// cross-type facts (Fact::crossref_type).
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+      entities_by_type_pair;
+  SupportPools supports;
+  /// (language, localized type name) -> hub type id.
+  std::map<std::pair<std::string, std::string>, std::string> hub_type_of;
+};
+
+/// \brief Generator configuration.
+struct GeneratorOptions {
+  uint64_t seed = 20111030;
+  /// Multiplies every per-type entity count (0.05 for quick tests, 1.0 for
+  /// the paper-sized corpus).
+  double scale = 1.0;
+  std::string hub = "en";
+  std::vector<TypeModelConfig> types;
+
+  RenderNoise noise;
+  /// Probability that a dual entity keeps an identical title across
+  /// languages (films often do).
+  double p_same_title = 0.35;
+  /// Probability that one included attribute's value is misplaced under a
+  /// different included attribute (the paper's Sakamoto example).
+  double p_misplace = 0.02;
+  /// Extra hub-only entities, as a fraction of each type's dual count —
+  /// they give the hub corpus the larger coverage the case study relies on.
+  double p_hub_only_extra = 0.3;
+  /// Cross-language schema correlation: probability that the two sides of a
+  /// dual pair decide a concept's inclusion from a *shared* random draw
+  /// instead of independent ones. Real dual infoboxes correlate strongly
+  /// (editors translate each other's infoboxes); this is the co-occurrence
+  /// signal LSI exploits.
+  double schema_correlation = 0.45;
+  /// Probability that the non-hub side of a dual pair reports an
+  /// independently-drawn fact for a concept (the paper's pervasive value
+  /// inconsistencies: different running times, different people credited).
+  double p_fact_divergence = 0.25;
+  /// Support-pool sizing: persons per dual entity.
+  double persons_per_entity = 1.2;
+  /// Fraction of support entities (persons/places/terms/dates) that have an
+  /// article in a given non-hub language. Under-represented wikis lack many
+  /// pages (red links) — this thins the translation dictionary, weakens
+  /// lsim's cross-language link equivalence, and breaks query-constant
+  /// translation for that language. Missing languages default to 1.0.
+  std::map<std::string, double> support_coverage = {{"pt", 0.92},
+                                                    {"vi", 0.55}};
+  size_t num_places = 40;
+  size_t num_terms = 60;
+  /// Cross-type references: (source type, concept id) -> target type. The
+  /// concept's values become links to generated entities of the target
+  /// type within the same language pair — what makes the paper's join
+  /// queries ("films starring actors who ...") answerable. Target types
+  /// are generated before source types.
+  std::map<std::pair<std::string, std::string>, std::string> crossrefs = {
+      {{"film", "starring"}, "actor"}};
+
+  /// \brief The paper's dataset: 14 Pt-En types (8,898 infoboxes) and 4
+  /// Vn-En types (659), overlaps per Table 5.
+  static GeneratorOptions Paper(double scale = 1.0);
+
+  /// \brief A two-type miniature for unit tests.
+  static GeneratorOptions Tiny(uint64_t seed = 7);
+};
+
+/// \brief Deterministic corpus generator.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(GeneratorOptions options);
+
+  /// \brief Builds the full corpus + ground truth. Deterministic in
+  /// options.seed.
+  util::Result<GeneratedCorpus> Generate();
+
+ private:
+  GeneratorOptions options_;
+};
+
+}  // namespace synth
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SYNTH_GENERATOR_H_

@@ -1,0 +1,310 @@
+#include "synth/lexicon.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace wikimatch {
+namespace synth {
+
+namespace {
+
+// --- English syllable inventory -------------------------------------------
+const char* kEnOnsets[] = {"b",  "br", "c",  "cl", "d",  "dr", "f", "fl",
+                           "g",  "gr", "h",  "l",  "m",  "n",  "p", "pl",
+                           "pr", "r",  "s",  "sh", "sl", "st", "t", "th",
+                           "tr", "v",  "w"};
+const char* kEnNuclei[] = {"a", "e", "i", "o", "u", "ea", "ee", "ai", "ou"};
+const char* kEnCodas[] = {"",  "n",  "r",  "t",  "l",  "s",  "m",
+                          "nd", "st", "ck", "ng", "rd", "th", ""};
+const char* kEnSuffixes[] = {"tion", "ment", "ing", "er", "ness", "ship",
+                             "age",  "ance", "ure", "ist", "",     ""};
+
+// --- Romance (Portuguese-like) --------------------------------------------
+const char* kPtOnsets[] = {"b",  "br", "c",  "ch", "d",  "f",  "fr", "g",
+                           "j",  "l",  "lh", "m",  "n",  "nh", "p",  "pr",
+                           "qu", "r",  "s",  "t",  "tr", "v",  "z"};
+const char* kPtNuclei[] = {"a", "e", "i", "o", "u", "ã", "é", "ê", "ó", "ei",
+                           "ou", "ão"};
+const char* kPtCodas[] = {"", "", "", "s", "r", "l", "m", "n"};
+const char* kPtSuffixes[] = {"ção", "dade", "mento", "eiro", "agem", "ista",
+                             "ura", "ência", "or",   "",     ""};
+
+// --- Vietnamese -------------------------------------------------------------
+const char* kViOnsets[] = {"b",  "c",  "ch", "d",  "đ",  "g",  "gi", "h",
+                           "kh", "l",  "m",  "n",  "ng", "nh", "ph", "qu",
+                           "s",  "t",  "th", "tr", "v",  "x"};
+const char* kViNuclei[] = {"a", "à", "á", "ả", "ã", "ạ", "ă", "â", "e", "è",
+                           "é", "ẹ", "ê", "ề", "ế", "i", "ì", "í", "ị", "o",
+                           "ò", "ó", "ọ", "ô", "ồ", "ố", "ơ", "ờ", "ớ", "u",
+                           "ù", "ú", "ụ", "ư", "ừ", "ứ", "y", "ỳ", "ý"};
+const char* kViCodas[] = {"",  "n", "ng", "nh", "m", "c",
+                          "t", "p", "i",  "o",  "u", ""};
+
+template <size_t N>
+const char* Pick(util::Rng* rng, const char* const (&arr)[N]) {
+  return arr[rng->NextBounded(N)];
+}
+
+std::string MakeEnglishWord(util::Rng* rng) {
+  size_t syllables = 1 + rng->NextBounded(2);
+  std::string w;
+  for (size_t i = 0; i < syllables; ++i) {
+    w += Pick(rng, kEnOnsets);
+    w += Pick(rng, kEnNuclei);
+    w += Pick(rng, kEnCodas);
+  }
+  if (rng->NextBool(0.4)) w += Pick(rng, kEnSuffixes);
+  return w;
+}
+
+std::string MakeRomanceWord(util::Rng* rng) {
+  size_t syllables = 1 + rng->NextBounded(2);
+  std::string w;
+  for (size_t i = 0; i < syllables; ++i) {
+    w += Pick(rng, kPtOnsets);
+    w += Pick(rng, kPtNuclei);
+    w += Pick(rng, kPtCodas);
+  }
+  if (rng->NextBool(0.5)) w += Pick(rng, kPtSuffixes);
+  return w;
+}
+
+std::string MakeVietnameseWord(util::Rng* rng) {
+  size_t syllables = 1 + rng->NextBounded(2);
+  std::string w;
+  for (size_t i = 0; i < syllables; ++i) {
+    if (i > 0) w += " ";
+    w += Pick(rng, kViOnsets);
+    w += Pick(rng, kViNuclei);
+    w += Pick(rng, kViCodas);
+  }
+  return w;
+}
+
+// Uppercases the first ASCII letter (sufficient: generated names start
+// ASCII).
+std::string Capitalize(std::string s) {
+  if (!s.empty() && s[0] >= 'a' && s[0] <= 'z') {
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  }
+  return s;
+}
+
+}  // namespace
+
+WordGenerator::WordGenerator(Morphology morphology)
+    : morphology_(morphology) {}
+
+std::string WordGenerator::MakeWord(util::Rng* rng) const {
+  switch (morphology_) {
+    case Morphology::kEnglish:
+      return MakeEnglishWord(rng);
+    case Morphology::kRomance:
+      return MakeRomanceWord(rng);
+    case Morphology::kVietnamese:
+      return MakeVietnameseWord(rng);
+  }
+  return {};
+}
+
+std::string WordGenerator::MakePhrase(util::Rng* rng, size_t words) const {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < words; ++i) parts.push_back(MakeWord(rng));
+  return util::Join(parts, " ");
+}
+
+std::string WordGenerator::Cognate(const std::string& english,
+                                   util::Rng* rng) const {
+  // Keep the root (strip a known English suffix when present), then attach
+  // a Romance ending. The result is string-similar to the English form but
+  // not identical — the situation where syntactic matchers half-work.
+  std::string root = english;
+  static const std::array<std::pair<const char*, const char*>, 7> kMap = {{
+      {"tion", "ção"},
+      {"ment", "mento"},
+      {"ity", "idade"},
+      {"er", "or"},
+      {"ing", "agem"},
+      {"ness", "eza"},
+      {"age", "agem"},
+  }};
+  for (const auto& [en_suf, pt_suf] : kMap) {
+    if (util::EndsWith(root, en_suf)) {
+      root = root.substr(0, root.size() - std::string(en_suf).size());
+      return root + pt_suf;
+    }
+  }
+  // No mapped suffix: append a short Romance vowel ending.
+  const char* endings[] = {"o", "a", "e", "ia", "ista"};
+  return root + endings[rng->NextBounded(5)];
+}
+
+std::string WordGenerator::MakeProperName(util::Rng* rng,
+                                          size_t words) const {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < words; ++i) {
+    parts.push_back(Capitalize(MakeWord(rng)));
+  }
+  return util::Join(parts, " ");
+}
+
+const std::vector<SeedConcept>& FilmSeedConcepts() {
+  static const std::vector<SeedConcept> kConcepts = {
+      {"directed_by",
+       "entity",
+       {{"en", {"directed by"}}, {"pt", {"direção"}}, {"vi", {"đạo diễn"}}}},
+      {"produced_by",
+       "entity",
+       {{"en", {"produced by"}}, {"pt", {"produção"}}, {"vi", {"sản xuất"}}}},
+      {"written_by",
+       "entity",
+       {{"en", {"written by"}}, {"pt", {"roteiro"}}, {"vi", {"kịch bản"}}}},
+      {"starring",
+       "entity_list",
+       {{"en", {"starring"}},
+        {"pt", {"elenco original", "elenco"}},
+        {"vi", {"diễn viên"}}}},
+      {"music_by",
+       "entity",
+       {{"en", {"music by"}}, {"pt", {"música"}}, {"vi", {"âm nhạc"}}}},
+      {"editing_by",
+       "entity",
+       {{"en", {"editing by"}}, {"pt", {"edição"}}, {"vi", {"dựng phim"}}}},
+      {"distributed_by",
+       "entity",
+       {{"en", {"distributed by"}},
+        {"pt", {"distribuição"}},
+        {"vi", {"phát hành bởi"}}}},
+      {"studio",
+       "entity",
+       {{"en", {"studio"}}, {"pt", {"estúdio"}}, {"vi", {"hãng sản xuất"}}}},
+      {"release_date",
+       "date",
+       {{"en", {"release date", "released"}},
+        {"pt", {"lançamento"}},
+        {"vi", {"ngày phát hành"}}}},
+      {"running_time",
+       "duration",
+       {{"en", {"running time"}}, {"pt", {"duração"}}, {"vi", {"thời lượng"}}}},
+      {"country",
+       "place",
+       {{"en", {"country"}}, {"pt", {"país"}}, {"vi", {"quốc gia"}}}},
+      {"language",
+       "term",
+       {{"en", {"language"}},
+        {"pt", {"idioma original", "idioma"}},
+        {"vi", {"ngôn ngữ"}}}},
+      {"budget",
+       "money",
+       {{"en", {"budget"}}, {"pt", {"orçamento"}}, {"vi", {"kinh phí"}}}},
+      {"gross_revenue",
+       "money",
+       {{"en", {"gross revenue", "gross"}},
+        {"pt", {"receita"}},
+        {"vi", {"doanh thu", "thu nhập"}}}},
+      {"genre",
+       "term",
+       {{"en", {"genre"}}, {"pt", {"gênero"}}, {"vi", {"thể loại"}}}},
+      {"story_by",
+       "entity",
+       {{"en", {"story by"}}, {"pt", {"história"}}, {"vi", {"cốt truyện"}}}},
+      {"awards",
+       "text",
+       {{"en", {"awards"}}, {"pt", {"prêmios"}}, {"vi", {"giải thưởng"}}}},
+      {"title",
+       "name",
+       {{"en", {"name"}}, {"pt", {"nome", "título"}}, {"vi", {"tên"}}}},
+  };
+  return kConcepts;
+}
+
+const std::vector<SeedConcept>& ActorSeedConcepts() {
+  static const std::vector<SeedConcept> kConcepts = {
+      {"born",
+       "date",
+       {{"en", {"born"}},
+        {"pt", {"nascimento", "data de nascimento"}},
+        {"vi", {"sinh", "ngày sinh"}}}},
+      {"birth_place",
+       "place",
+       {{"en", {"birthplace"}},
+        {"pt", {"local de nascimento", "país de nascimento"}},
+        {"vi", {"nơi sinh"}}}},
+      {"died",
+       "date",
+       {{"en", {"died"}},
+        {"pt", {"falecimento", "morte"}},
+        {"vi", {"mất", "ngày mất"}}}},
+      {"other_names",
+       "name",
+       {{"en", {"other names"}},
+        {"pt", {"outros nomes"}},
+        {"vi", {"tên khác"}}}},
+      {"occupation",
+       "term",
+       {{"en", {"occupation"}},
+        {"pt", {"ocupação"}},
+        {"vi", {"vai trò", "công việc"}}}},
+      {"spouse",
+       "entity",
+       {{"en", {"spouse"}},
+        {"pt", {"cônjuge"}},
+        {"vi", {"chồng", "vợ"}}}},
+      {"years_active",
+       "text",
+       {{"en", {"years active"}},
+        {"pt", {"anos em atividade"}},
+        {"vi", {"năm hoạt động"}}}},
+      {"website",
+       "text",
+       {{"en", {"website"}}, {"pt", {"página oficial"}}, {"vi", {"trang web"}}}},
+      {"nationality",
+       "place",
+       {{"en", {"nationality"}},
+        {"pt", {"nacionalidade"}},
+        {"vi", {"quốc tịch"}}}},
+      {"notable_works",
+       "entity_list",
+       {{"en", {"notable works"}},
+        {"pt", {"trabalhos notáveis"}},
+        {"vi", {"tác phẩm"}}}},
+      {"name",
+       "name",
+       {{"en", {"name"}}, {"pt", {"nome"}}, {"vi", {"tên"}}}},
+      {"genre_field",
+       "term",
+       {{"en", {"genre"}}, {"pt", {"gênero"}}, {"vi", {"thể loại"}}}},
+  };
+  return kConcepts;
+}
+
+const std::map<std::string, std::map<std::string, std::string>>&
+SeedTypeNames() {
+  static const std::map<std::string, std::map<std::string, std::string>>
+      kNames = {
+          {"film", {{"en", "film"}, {"pt", "filme"}, {"vi", "phim"}}},
+          {"show",
+           {{"en", "television"}, {"pt", "programa de tv"}, {"vi", "chương trình"}}},
+          {"actor", {{"en", "actor"}, {"pt", "ator"}, {"vi", "diễn viên"}}},
+          {"artist",
+           {{"en", "musical artist"}, {"pt", "música artista"}, {"vi", "nghệ sĩ"}}},
+          {"channel", {{"en", "tv channel"}, {"pt", "canal de televisão"}}},
+          {"company", {{"en", "company"}, {"pt", "empresa"}}},
+          {"comics character",
+           {{"en", "comics character"}, {"pt", "personagem de quadrinhos"}}},
+          {"album", {{"en", "album"}, {"pt", "álbum"}}},
+          {"adult actor", {{"en", "adult biography"}, {"pt", "ator adulto"}}},
+          {"book", {{"en", "book"}, {"pt", "livro"}}},
+          {"episode",
+           {{"en", "television episode"}, {"pt", "episódio de televisão"}}},
+          {"writer", {{"en", "writer"}, {"pt", "escritor"}}},
+          {"comics", {{"en", "comic book"}, {"pt", "banda desenhada"}}},
+          {"fictional character",
+           {{"en", "character"}, {"pt", "personagem fictícia"}}},
+      };
+  return kNames;
+}
+
+}  // namespace synth
+}  // namespace wikimatch

@@ -1,0 +1,82 @@
+// Lexicon synthesis: pseudo-words with per-language morphology.
+//
+// The corpus generator needs attribute names, entity titles, and value
+// words in English, Portuguese, and Vietnamese. English and Portuguese
+// surface forms may share roots (cognates — and occasionally *false*
+// cognates, the paper's editora/editor trap), while Vietnamese forms are
+// morphologically disjoint (tone-marked syllables). This module synthesizes
+// such words deterministically from an Rng, and also carries a seed lexicon
+// of real attribute names from the paper (direção ~ directed by ~ đạo diễn)
+// so generated corpora read like the paper's tables.
+
+#ifndef WIKIMATCH_SYNTH_LEXICON_H_
+#define WIKIMATCH_SYNTH_LEXICON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace synth {
+
+/// \brief Morphology family of a language.
+enum class Morphology {
+  kEnglish,
+  kRomance,     // Portuguese-like: Latin roots, ção/dade/eiro endings
+  kVietnamese,  // tone-marked monosyllables
+};
+
+/// \brief Generates pseudo-words of a given morphology.
+class WordGenerator {
+ public:
+  explicit WordGenerator(Morphology morphology);
+
+  /// \brief One fresh word (2-4 syllables; Vietnamese: 1-2 tone-marked
+  /// syllables).
+  std::string MakeWord(util::Rng* rng) const;
+
+  /// \brief A short phrase of `words` words.
+  std::string MakePhrase(util::Rng* rng, size_t words) const;
+
+  /// \brief Romance-only: derives a cognate of an English word (shared
+  /// root, Romance ending), e.g. "production" -> "produção".
+  std::string Cognate(const std::string& english, util::Rng* rng) const;
+
+  /// \brief A capitalized proper-noun-like name of `words` words.
+  std::string MakeProperName(util::Rng* rng, size_t words) const;
+
+  Morphology morphology() const { return morphology_; }
+
+ private:
+  Morphology morphology_;
+};
+
+/// \brief One concept's real-world surface forms from the paper's examples.
+struct SeedConcept {
+  /// Stable concept id, e.g. "directed_by".
+  std::string id;
+  /// Value kind tag understood by the generator ("entity", "entity_list",
+  /// "date", "year", "number", "duration", "money", "place", "text",
+  /// "name", "term").
+  std::string kind;
+  /// Surface forms per language; first form is the dominant one.
+  std::map<std::string, std::vector<std::string>> forms;
+};
+
+/// \brief Seed concepts for the "film" type (paper Figure 1 / Table 1).
+const std::vector<SeedConcept>& FilmSeedConcepts();
+
+/// \brief Seed concepts for the "actor" type (paper Figure 2 / Table 1).
+const std::vector<SeedConcept>& ActorSeedConcepts();
+
+/// \brief Localized infobox type names for seeded types, e.g.
+/// film -> {en: "film", pt: "filme", vi: "phim"}.
+const std::map<std::string, std::map<std::string, std::string>>&
+SeedTypeNames();
+
+}  // namespace synth
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SYNTH_LEXICON_H_

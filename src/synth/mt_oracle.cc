@@ -1,0 +1,71 @@
+#include "synth/mt_oracle.h"
+
+#include "text/normalize.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace wikimatch {
+namespace synth {
+
+namespace {
+
+// A "literal" English rendering sharing the root of `hub_form`: first word,
+// with a derivational suffix swapped in.
+std::string RelatedLiteral(const std::string& hub_form, util::Rng* rng) {
+  std::string root = hub_form;
+  size_t space = root.find(' ');
+  if (space != std::string::npos) root = root.substr(0, space);
+  // Strip a common suffix to bare the root.
+  for (const char* suffix : {"tion", "ment", "ing", "ed", "er"}) {
+    if (util::EndsWith(root, suffix) &&
+        root.size() > std::string(suffix).size() + 2) {
+      root = root.substr(0, root.size() - std::string(suffix).size());
+      break;
+    }
+  }
+  const char* endings[] = {"ion", "ment", "ing", "ness", "or", ""};
+  return root + endings[rng->NextBounded(6)];
+}
+
+}  // namespace
+
+std::map<std::pair<std::string, std::string>, std::string> MakeMtOracle(
+    const GeneratedCorpus& corpus, const MtOracleOptions& options) {
+  std::map<std::pair<std::string, std::string>, std::string> out;
+  util::Rng rng(options.seed);
+  WordGenerator en_gen(Morphology::kEnglish);
+
+  for (const auto& [type_id, model] : corpus.models) {
+    for (const auto& concept_spec : model.concepts) {
+      auto hub_it = concept_spec.forms.find(corpus.hub);
+      if (hub_it == concept_spec.forms.end() || hub_it->second.empty()) {
+        continue;
+      }
+      const std::string hub_dominant =
+          text::NormalizeAttributeName(hub_it->second[0]);
+      for (const auto& [lang, forms] : concept_spec.forms) {
+        if (lang == corpus.hub) continue;
+        double p_related = lang == "pt" ? options.p_related_romance
+                                        : options.p_related_other;
+        for (const auto& form : forms) {
+          std::string key_name = text::NormalizeAttributeName(form);
+          auto key = std::make_pair(lang, key_name);
+          if (out.count(key) > 0) continue;  // Same form in two concepts.
+          std::string translation;
+          if (rng.NextBool(options.p_conventional)) {
+            translation = hub_dominant;  // Lucky: the conventional name.
+          } else if (rng.NextBool(p_related)) {
+            translation = RelatedLiteral(hub_dominant, &rng);
+          } else {
+            translation = en_gen.MakePhrase(&rng, 1);  // Unrelated literal.
+          }
+          out.emplace(std::move(key), std::move(translation));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace synth
+}  // namespace wikimatch

@@ -1,0 +1,45 @@
+// Synthetic machine-translation oracle: the stand-in for Google Translator
+// in the COMA++ N+G configuration (paper Appendix C).
+//
+// The paper's observation is that MT produces *literal* translations that
+// miss Wikipedia's conventionalized attribute names ("diễn viên" -> "actor"
+// rather than "starring"). The oracle reproduces that behaviour: with
+// probability p_conventional it returns the concept's dominant hub-language
+// form (a lucky hit); otherwise it returns a literal translation — for
+// cognate languages a word sharing the hub form's root (string-similar but
+// not equal), for morphologically-distinct languages an unrelated word.
+
+#ifndef WIKIMATCH_SYNTH_MT_ORACLE_H_
+#define WIKIMATCH_SYNTH_MT_ORACLE_H_
+
+#include <map>
+#include <string>
+
+#include "synth/generator.h"
+
+namespace wikimatch {
+namespace synth {
+
+/// \brief Oracle tuning.
+struct MtOracleOptions {
+  /// Probability the oracle emits the conventional infobox attribute name.
+  double p_conventional = 0.30;
+  /// Probability a *literal* translation still shares the hub form's root
+  /// (Romance languages), vs. an unrelated word (Vietnamese).
+  double p_related_romance = 0.70;
+  double p_related_other = 0.20;
+  uint64_t seed = 0x6007;
+};
+
+/// \brief Builds attribute-name translations into the hub language for
+/// every non-hub surface form in the generated corpus.
+///
+/// Keys are (language, normalized attribute name); values are hub-language
+/// names. Deterministic in the options seed.
+std::map<std::pair<std::string, std::string>, std::string> MakeMtOracle(
+    const GeneratedCorpus& corpus, const MtOracleOptions& options = {});
+
+}  // namespace synth
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SYNTH_MT_ORACLE_H_

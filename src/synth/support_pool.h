@@ -1,0 +1,62 @@
+// Support entities: the articles that infobox values link to — persons,
+// organizations, places, and terms (genres, occupations, languages). Their
+// cross-language titles are the raw material of the automatically-derived
+// translation dictionary (Section 3.2 of the paper), and their per-language
+// article pairs give lsim its cross-language link equivalence.
+
+#ifndef WIKIMATCH_SYNTH_SUPPORT_POOL_H_
+#define WIKIMATCH_SYNTH_SUPPORT_POOL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wikimatch {
+namespace synth {
+
+/// \brief One support entity with per-language titles and optional aliases.
+struct SupportEntity {
+  /// Normalized title per language. Persons usually share one Latin-script
+  /// name across languages; places and terms are translated.
+  std::map<std::string, std::string> titles;
+  /// Optional per-language alias used as anchor-text variant
+  /// ("united states" vs "usa").
+  std::map<std::string, std::string> aliases;
+  /// Languages in which the alias exists as a *redirect page*, so links
+  /// may target the alias directly and resolve through the redirect.
+  std::map<std::string, bool> alias_is_page;
+};
+
+/// \brief The value domains.
+struct SupportPools {
+  std::vector<SupportEntity> entities;  ///< persons / organizations
+  std::vector<SupportEntity> places;    ///< countries / cities
+  std::vector<SupportEntity> terms;     ///< genres / occupations / languages
+  /// Day-of-year pages ("december 18" / "18 de dezembro" / "18 tháng 12"),
+  /// indexed by (month - 1) * 28 + (day - 1). Dates in infobox values link
+  /// to these — the paper's dictionary translates dates exactly because
+  /// such pages exist and are cross-language linked.
+  std::vector<SupportEntity> day_pages;
+  /// Year pages ("1903"), indexed by year - kFirstYear.
+  std::vector<SupportEntity> year_pages;
+
+  static constexpr int kFirstYear = 1900;
+  static constexpr int kLastYear = 2015;
+
+  /// \brief Index helpers; return SIZE_MAX when out of range.
+  size_t DayPageIndex(int month, int day) const {
+    if (month < 1 || month > 12 || day < 1 || day > 28) return SIZE_MAX;
+    size_t idx = static_cast<size_t>((month - 1) * 28 + (day - 1));
+    return idx < day_pages.size() ? idx : SIZE_MAX;
+  }
+  size_t YearPageIndex(int year) const {
+    if (year < kFirstYear || year > kLastYear) return SIZE_MAX;
+    size_t idx = static_cast<size_t>(year - kFirstYear);
+    return idx < year_pages.size() ? idx : SIZE_MAX;
+  }
+};
+
+}  // namespace synth
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SYNTH_SUPPORT_POOL_H_

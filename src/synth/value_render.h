@@ -1,0 +1,69 @@
+// Fact -> wikitext value rendering, per language.
+//
+// A Fact is the language-independent truth about one concept of one entity
+// (the director IS person #17; the running time IS 160). Rendering turns it
+// into the wikitext that appears in that language's infobox — with the
+// heterogeneity the paper documents: language-specific date formats,
+// translated link targets, anchor-text variants, dropped links, and numeric
+// noise.
+
+#ifndef WIKIMATCH_SYNTH_VALUE_RENDER_H_
+#define WIKIMATCH_SYNTH_VALUE_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/concept_model.h"
+#include "synth/support_pool.h"
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace synth {
+
+/// \brief Language-independent value of one concept for one entity.
+struct Fact {
+  ValueKind kind = ValueKind::kText;
+  int64_t number = 0;            ///< kNumber / kDuration / kMoney
+  int year = 0;                  ///< kDate / kYear
+  int month = 1;                 ///< kDate
+  int day = 1;                   ///< kDate
+  int ref = -1;                  ///< kEntity / kPlace / kTerm: pool index
+  std::vector<int> refs;         ///< kEntityList: pool indexes
+  std::string text;              ///< kText / kName: hub-language content
+  bool name_shared = false;      ///< kName: alias shared across languages
+  /// Non-empty for cross-type references: `refs` index the generated
+  /// entities of this type within the same language pair (film "starring"
+  /// pointing at actor-type entities), not the support pool. Rendered by
+  /// the generator, which owns the entity registry.
+  std::string crossref_type;
+};
+
+/// \brief Noise knobs for rendering (subset of GeneratorOptions).
+struct RenderNoise {
+  double p_link_drop = 0.40;      ///< emit anchor text without [[...]]
+  double p_anchor_variant = 0.18; ///< use the alias as anchor
+  double p_value_noise = 0.15;    ///< perturb numbers/dates in one language
+  double p_template_wrap = 0.20;  ///< wrap lists in {{ubl|...}}
+};
+
+/// \brief Renders `fact` as the wikitext value for `lang`.
+///
+/// `word_gen` must produce words in `lang`'s morphology (used by kText and
+/// unshared kName renderings).
+std::string RenderValue(const Fact& fact, const std::string& lang,
+                        const SupportPools& pools, const RenderNoise& noise,
+                        const WordGenerator& word_gen, util::Rng* rng);
+
+/// \brief Draws a Fact for a concept `kind` whose link-valued domain is
+/// [domain_begin, domain_end) of the matching pool.
+Fact DrawFact(ValueKind kind, size_t domain_begin, size_t domain_end,
+              const WordGenerator& hub_gen, util::Rng* rng);
+
+/// \brief Localized month name ("june" / "junho"); Vietnamese uses numeric
+/// months so returns the number as text.
+std::string MonthName(int month, const std::string& lang);
+
+}  // namespace synth
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SYNTH_VALUE_RENDER_H_

@@ -1,0 +1,188 @@
+#include "text/string_similarity.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "util/utf8.h"
+
+namespace wikimatch {
+namespace text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  std::vector<char32_t> ca = util::DecodeUtf8(a);
+  std::vector<char32_t> cb = util::DecodeUtf8(b);
+  if (ca.empty()) return cb.size();
+  if (cb.empty()) return ca.size();
+  // Two-row dynamic program.
+  std::vector<size_t> prev(cb.size() + 1);
+  std::vector<size_t> cur(cb.size() + 1);
+  for (size_t j = 0; j <= cb.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= ca.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= cb.size(); ++j) {
+      size_t sub = prev[j - 1] + (ca[i - 1] == cb[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[cb.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t la = util::Utf8Length(a);
+  size_t lb = util::Utf8Length(b);
+  size_t longest = std::max(la, lb);
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  std::vector<char32_t> ca = util::DecodeUtf8(a);
+  std::vector<char32_t> cb = util::DecodeUtf8(b);
+  if (ca.empty() && cb.empty()) return 1.0;
+  if (ca.empty() || cb.empty()) return 0.0;
+  size_t window =
+      std::max(ca.size(), cb.size()) / 2 > 0
+          ? std::max(ca.size(), cb.size()) / 2 - 1
+          : 0;
+  std::vector<bool> a_matched(ca.size(), false);
+  std::vector<bool> b_matched(cb.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < ca.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(cb.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && ca[i] == cb[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (ca[i] != cb[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / ca.size() + m / cb.size() + (m - transpositions / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = std::min<size_t>(CommonPrefixLength(a, b), 4);
+  return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+double NgramDice(std::string_view a, std::string_view b, size_t n) {
+  std::vector<std::string> ga = CharNgrams(a, n);
+  std::vector<std::string> gb = CharNgrams(b, n);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  std::map<std::string, size_t> counts;
+  for (const auto& g : ga) counts[g]++;
+  size_t shared = 0;
+  for (const auto& g : gb) {
+    auto it = counts.find(g);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  return 2.0 * static_cast<double>(shared) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+double NgramJaccard(std::string_view a, std::string_view b, size_t n) {
+  std::vector<std::string> ga = CharNgrams(a, n);
+  std::vector<std::string> gb = CharNgrams(b, n);
+  std::set<std::string> sa(ga.begin(), ga.end());
+  std::set<std::string> sb(gb.begin(), gb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& g : sa) inter += sb.count(g);
+  size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+size_t LongestCommonSubstring(std::string_view a, std::string_view b) {
+  std::vector<char32_t> ca = util::DecodeUtf8(a);
+  std::vector<char32_t> cb = util::DecodeUtf8(b);
+  if (ca.empty() || cb.empty()) return 0;
+  std::vector<size_t> prev(cb.size() + 1, 0);
+  std::vector<size_t> cur(cb.size() + 1, 0);
+  size_t best = 0;
+  for (size_t i = 1; i <= ca.size(); ++i) {
+    for (size_t j = 1; j <= cb.size(); ++j) {
+      if (ca[i - 1] == cb[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+        best = std::max(best, cur[j]);
+      } else {
+        cur[j] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+double LcsSimilarity(std::string_view a, std::string_view b) {
+  size_t la = util::Utf8Length(a);
+  size_t lb = util::Utf8Length(b);
+  size_t shortest = std::min(la, lb);
+  if (shortest == 0) return 0.0;
+  return static_cast<double>(LongestCommonSubstring(a, b)) /
+         static_cast<double>(shortest);
+}
+
+namespace {
+
+// One direction of Monge-Elkan: mean over a's tokens of the best
+// Jaro-Winkler match in b's tokens.
+double MongeElkanDirected(const std::vector<std::string>& ta,
+                          const std::vector<std::string>& tb) {
+  if (ta.empty() || tb.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& wa : ta) {
+    double best = 0.0;
+    for (const auto& wb : tb) {
+      best = std::max(best, JaroWinklerSimilarity(wa, wb));
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(ta.size());
+}
+
+}  // namespace
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = Tokenize(a);
+  std::vector<std::string> tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  return 0.5 * (MongeElkanDirected(ta, tb) + MongeElkanDirected(tb, ta));
+}
+
+size_t CommonPrefixLength(std::string_view a, std::string_view b) {
+  std::vector<char32_t> ca = util::DecodeUtf8(a);
+  std::vector<char32_t> cb = util::DecodeUtf8(b);
+  size_t n = std::min(ca.size(), cb.size());
+  size_t i = 0;
+  while (i < n && ca[i] == cb[i]) ++i;
+  return i;
+}
+
+}  // namespace text
+}  // namespace wikimatch

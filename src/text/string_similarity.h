@@ -1,0 +1,60 @@
+// String similarity measures over UTF-8 strings (code-point granularity).
+//
+// These power the COMA++-style name matcher baseline (Section 4.1 / Figure 7
+// of the paper) and are deliberately the kind of syntactic measures the
+// paper shows to be insufficient for cross-language matching.
+
+#ifndef WIKIMATCH_TEXT_STRING_SIMILARITY_H_
+#define WIKIMATCH_TEXT_STRING_SIMILARITY_H_
+
+#include <string_view>
+
+namespace wikimatch {
+namespace text {
+
+/// \brief Levenshtein edit distance (unit costs) in code points.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// \brief Normalized Levenshtein similarity: 1 - dist / max(|a|,|b|).
+///
+/// Two empty strings have similarity 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro-Winkler similarity with standard prefix scale 0.1, prefix
+/// length capped at 4.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Dice coefficient over character n-gram multisets.
+double NgramDice(std::string_view a, std::string_view b, size_t n);
+
+/// \brief Jaccard coefficient over character n-gram sets.
+double NgramJaccard(std::string_view a, std::string_view b, size_t n);
+
+/// \brief Trigram Dice — the paper's "n-gram similarity" default.
+inline double TrigramSimilarity(std::string_view a, std::string_view b) {
+  return NgramDice(a, b, 3);
+}
+
+/// \brief Length of the longest common substring in code points.
+size_t LongestCommonSubstring(std::string_view a, std::string_view b);
+
+/// \brief Normalized LCS similarity: lcs / min(|a|,|b|); empty -> 0.
+double LcsSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Length of the common prefix in code points.
+size_t CommonPrefixLength(std::string_view a, std::string_view b);
+
+/// \brief Monge-Elkan similarity: tokenizes both strings and averages, for
+/// each token of `a`, its best Jaro-Winkler score against `b`'s tokens.
+/// The standard measure for multi-word schema labels ("data de nascimento"
+/// vs "date of birth"); asymmetric by definition, so the symmetric mean of
+/// both directions is returned.
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace text
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_TEXT_STRING_SIMILARITY_H_

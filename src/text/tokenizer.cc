@@ -1,0 +1,87 @@
+#include "text/tokenizer.h"
+
+#include "text/normalize.h"
+#include "util/utf8.h"
+
+namespace wikimatch {
+namespace text {
+
+namespace {
+
+bool IsLetter(char32_t cp) {
+  if ((cp >= U'a' && cp <= U'z') || (cp >= U'A' && cp <= U'Z')) return true;
+  // Latin-1 Supplement letters.
+  if (cp >= 0x00C0 && cp <= 0x00FF && cp != 0x00D7 && cp != 0x00F7)
+    return true;
+  // Latin Extended-A/B (subset) and Extended Additional.
+  if (cp >= 0x0100 && cp <= 0x024F) return true;
+  if (cp >= 0x1E00 && cp <= 0x1EFF) return true;
+  return false;
+}
+
+bool IsDigit(char32_t cp) { return cp >= U'0' && cp <= U'9'; }
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view s,
+                                  const TokenizerOptions& opts) {
+  std::vector<std::string> tokens;
+  std::string current;
+  size_t current_len = 0;  // code points
+  enum class Kind { kNone, kWord, kNumber } kind = Kind::kNone;
+
+  auto flush = [&]() {
+    if (kind != Kind::kNone && current_len >= opts.min_token_length) {
+      tokens.push_back(current);
+    }
+    current.clear();
+    current_len = 0;
+    kind = Kind::kNone;
+  };
+
+  size_t pos = 0;
+  while (pos < s.size()) {
+    char32_t cp = util::DecodeUtf8Char(s, &pos);
+    Kind cp_kind = Kind::kNone;
+    if (IsLetter(cp)) {
+      cp_kind = Kind::kWord;
+    } else if (opts.keep_numbers && IsDigit(cp)) {
+      cp_kind = Kind::kNumber;
+    }
+    if (cp_kind == Kind::kNone || (kind != Kind::kNone && cp_kind != kind)) {
+      flush();
+    }
+    if (cp_kind != Kind::kNone) {
+      kind = cp_kind;
+      char32_t out_cp = cp;
+      if (cp_kind == Kind::kWord) {
+        if (opts.lowercase) out_cp = ToLowerChar(out_cp);
+        if (opts.fold_diacritics) out_cp = FoldDiacriticsChar(out_cp);
+      }
+      util::AppendUtf8(out_cp, &current);
+      ++current_len;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> CharNgrams(std::string_view s, size_t n) {
+  std::vector<char32_t> cps = util::DecodeUtf8(s);
+  std::vector<std::string> grams;
+  if (cps.empty() || n == 0) return grams;
+  if (cps.size() <= n) {
+    grams.push_back(util::EncodeUtf8(cps));
+    return grams;
+  }
+  grams.reserve(cps.size() - n + 1);
+  for (size_t i = 0; i + n <= cps.size(); ++i) {
+    std::string g;
+    for (size_t k = 0; k < n; ++k) util::AppendUtf8(cps[i + k], &g);
+    grams.push_back(std::move(g));
+  }
+  return grams;
+}
+
+}  // namespace text
+}  // namespace wikimatch

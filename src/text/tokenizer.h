@@ -1,0 +1,44 @@
+// Unicode-aware tokenization of infobox values and titles.
+
+#ifndef WIKIMATCH_TEXT_TOKENIZER_H_
+#define WIKIMATCH_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wikimatch {
+namespace text {
+
+/// \brief Options controlling Tokenize().
+struct TokenizerOptions {
+  /// Lowercase tokens.
+  bool lowercase = true;
+  /// Strip diacritics from tokens (off by default — diacritics are
+  /// meaningful in Pt/Vn values).
+  bool fold_diacritics = false;
+  /// Keep digit runs as tokens.
+  bool keep_numbers = true;
+  /// Drop tokens shorter than this many code points.
+  size_t min_token_length = 1;
+};
+
+/// \brief Splits UTF-8 text into word tokens.
+///
+/// A token is a maximal run of letters (any code point >= 'a' after case
+/// folding that is alphabetic in the Latin repertoire, i.e. not punctuation,
+/// whitespace, or symbol) or, when `keep_numbers`, a maximal run of ASCII
+/// digits. Punctuation separates tokens.
+std::vector<std::string> Tokenize(std::string_view s,
+                                  const TokenizerOptions& opts = {});
+
+/// \brief Character n-grams of a UTF-8 string (code-point granularity).
+///
+/// Strings shorter than `n` yield a single n-gram equal to the whole string
+/// (if non-empty).
+std::vector<std::string> CharNgrams(std::string_view s, size_t n);
+
+}  // namespace text
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_TEXT_TOKENIZER_H_

@@ -1,0 +1,55 @@
+// Minimal parallel-for over an index range: fixed worker threads pulling
+// indexes from an atomic counter. Used by the pipeline to align independent
+// type pairs concurrently; results are written to pre-sized slots so output
+// order stays deterministic regardless of scheduling.
+
+#ifndef WIKIMATCH_UTIL_PARALLEL_H_
+#define WIKIMATCH_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace wikimatch {
+namespace util {
+
+/// \brief Invokes `fn(i)` for every i in [0, n), using up to `threads`
+/// worker threads (1 or 0 = run inline on the calling thread).
+///
+/// `fn` must be safe to call concurrently for distinct indexes. Blocks
+/// until all invocations finish.
+inline void ParallelFor(size_t n, size_t threads,
+                        const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  threads = std::min(threads, n);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&]() {
+      while (true) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+/// \brief A reasonable default worker count.
+inline size_t DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace util
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_UTIL_PARALLEL_H_

@@ -1,0 +1,85 @@
+// Result<T>: value-or-Status, the companion of Status for functions that
+// produce a value on success (Arrow's arrow::Result idiom).
+
+#ifndef WIKIMATCH_UTIL_RESULT_H_
+#define WIKIMATCH_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace wikimatch {
+namespace util {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Construction from a T yields the success state; construction from a
+/// non-OK Status yields the error state. Constructing from an OK Status is a
+/// programming error (asserted in debug builds, converted to Internal error
+/// otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// \brief True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The status: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Const access to the value. Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+
+  /// \brief Mutable access to the value. Requires ok().
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+
+  /// \brief Moves the value out. Requires ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// \brief The value, or `fallback` when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace util
+}  // namespace wikimatch
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define WIKIMATCH_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto _res_##__LINE__ = (rexpr);                    \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).ValueOrDie()
+
+#endif  // WIKIMATCH_UTIL_RESULT_H_

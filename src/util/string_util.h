@@ -1,0 +1,55 @@
+// Byte-level string helpers shared across the project.
+//
+// Unicode-aware operations (case folding of non-ASCII, diacritics folding)
+// live in text/normalize.h; the helpers here are encoding-agnostic or
+// ASCII-only and safe on UTF-8 byte strings.
+
+#ifndef WIKIMATCH_UTIL_STRING_UTIL_H_
+#define WIKIMATCH_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wikimatch {
+namespace util {
+
+/// \brief Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits `s` on a multi-character separator, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, std::string_view sep);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// \brief Lowercases ASCII letters only; other bytes pass through.
+std::string AsciiToLower(std::string_view s);
+
+/// \brief True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// \brief ASCII-case-insensitive equality.
+bool EqualsIgnoreAsciiCase(std::string_view a, std::string_view b);
+
+/// \brief Collapses runs of ASCII whitespace to single spaces and trims.
+std::string CollapseWhitespace(std::string_view s);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace util
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_UTIL_STRING_UTIL_H_

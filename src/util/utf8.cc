@@ -1,0 +1,112 @@
+#include "util/utf8.h"
+
+namespace wikimatch {
+namespace util {
+
+namespace {
+
+// Returns the expected sequence length for a lead byte, or 0 if invalid.
+inline int SequenceLength(unsigned char lead) {
+  if (lead < 0x80) return 1;
+  if ((lead & 0xE0) == 0xC0) return 2;
+  if ((lead & 0xF0) == 0xE0) return 3;
+  if ((lead & 0xF8) == 0xF0) return 4;
+  return 0;
+}
+
+inline bool IsContinuation(unsigned char b) { return (b & 0xC0) == 0x80; }
+
+}  // namespace
+
+char32_t DecodeUtf8Char(std::string_view s, size_t* pos) {
+  size_t i = *pos;
+  unsigned char lead = static_cast<unsigned char>(s[i]);
+  int len = SequenceLength(lead);
+  if (len == 0 || i + static_cast<size_t>(len) > s.size()) {
+    *pos = i + 1;
+    return kReplacementChar;
+  }
+  if (len == 1) {
+    *pos = i + 1;
+    return lead;
+  }
+  char32_t cp = lead & (0x7F >> len);
+  for (int k = 1; k < len; ++k) {
+    unsigned char b = static_cast<unsigned char>(s[i + static_cast<size_t>(k)]);
+    if (!IsContinuation(b)) {
+      *pos = i + 1;
+      return kReplacementChar;
+    }
+    cp = (cp << 6) | (b & 0x3F);
+  }
+  // Reject overlong encodings, surrogates, and out-of-range code points.
+  static constexpr char32_t kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMinForLen[len] || cp > 0x10FFFF ||
+      (cp >= 0xD800 && cp <= 0xDFFF)) {
+    *pos = i + 1;
+    return kReplacementChar;
+  }
+  *pos = i + static_cast<size_t>(len);
+  return cp;
+}
+
+std::vector<char32_t> DecodeUtf8(std::string_view s) {
+  std::vector<char32_t> out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) out.push_back(DecodeUtf8Char(s, &pos));
+  return out;
+}
+
+void AppendUtf8(char32_t cp, std::string* out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) cp = kReplacementChar;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string EncodeUtf8(const std::vector<char32_t>& cps) {
+  std::string out;
+  out.reserve(cps.size());
+  for (char32_t cp : cps) AppendUtf8(cp, &out);
+  return out;
+}
+
+bool IsValidUtf8(std::string_view s) {
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t before = pos;
+    char32_t cp = DecodeUtf8Char(s, &pos);
+    if (cp == kReplacementChar) {
+      // Distinguish a literal U+FFFD (3 bytes consumed) from an error
+      // (single-byte resync).
+      if (pos - before != 3) return false;
+    }
+  }
+  return true;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t n = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    DecodeUtf8Char(s, &pos);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace util
+}  // namespace wikimatch

@@ -1,0 +1,47 @@
+// Minimal UTF-8 codec: decode to code points, encode back, validate.
+//
+// The corpus contains Portuguese and Vietnamese text, so correct multi-byte
+// handling matters for tokenization, normalization, and edit distances.
+
+#ifndef WIKIMATCH_UTIL_UTF8_H_
+#define WIKIMATCH_UTIL_UTF8_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wikimatch {
+namespace util {
+
+/// \brief Unicode replacement character U+FFFD, emitted for invalid bytes.
+inline constexpr char32_t kReplacementChar = 0xFFFD;
+
+/// \brief Decodes one code point starting at `s[*pos]`.
+///
+/// Advances `*pos` past the consumed bytes (at least one, even on error) and
+/// returns the code point, or kReplacementChar for malformed sequences
+/// (truncated, overlong, surrogate, or > U+10FFFF).
+char32_t DecodeUtf8Char(std::string_view s, size_t* pos);
+
+/// \brief Decodes a whole string; malformed bytes become U+FFFD.
+std::vector<char32_t> DecodeUtf8(std::string_view s);
+
+/// \brief Appends the UTF-8 encoding of `cp` to `out`.
+///
+/// Invalid code points (surrogates, > U+10FFFF) encode as U+FFFD.
+void AppendUtf8(char32_t cp, std::string* out);
+
+/// \brief Encodes a code-point sequence as UTF-8.
+std::string EncodeUtf8(const std::vector<char32_t>& cps);
+
+/// \brief True iff `s` is well-formed UTF-8.
+bool IsValidUtf8(std::string_view s);
+
+/// \brief Number of code points in `s` (malformed bytes count as one each).
+size_t Utf8Length(std::string_view s);
+
+}  // namespace util
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_UTIL_UTF8_H_

@@ -1,0 +1,25 @@
+#include "wiki/article.h"
+
+#include <set>
+
+namespace wikimatch {
+namespace wiki {
+
+std::vector<std::string> Infobox::Schema() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& [name, value] : attributes) {
+    if (seen.insert(name).second) out.push_back(name);
+  }
+  return out;
+}
+
+const AttributeValue* Infobox::Find(const std::string& name) const {
+  for (const auto& [n, v] : attributes) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace wiki
+}  // namespace wikimatch

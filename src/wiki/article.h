@@ -1,0 +1,87 @@
+// Data model for Wikipedia articles, infoboxes, hyperlinks, and
+// cross-language links (Section 2 of the paper).
+
+#ifndef WIKIMATCH_WIKI_ARTICLE_H_
+#define WIKIMATCH_WIKI_ARTICLE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wikimatch {
+namespace wiki {
+
+/// \brief Dense id of an article within a Corpus.
+using ArticleId = uint32_t;
+inline constexpr ArticleId kInvalidArticle = 0xFFFFFFFFu;
+
+/// \brief A wikilink inside an attribute value: [[target|anchor]].
+struct Hyperlink {
+  /// Normalized target title (NormalizeTitle form).
+  std::string target;
+  /// Display text; equals the raw target when no pipe was present.
+  std::string anchor;
+
+  bool operator==(const Hyperlink& o) const {
+    return target == o.target && anchor == o.anchor;
+  }
+};
+
+/// \brief The value side of an infobox attribute-value pair.
+struct AttributeValue {
+  /// Raw wikitext of the value, unmodified.
+  std::string raw;
+  /// Plain text: links replaced by their anchors, markup stripped,
+  /// whitespace collapsed.
+  std::string text;
+  /// All wikilinks found in the value, in order.
+  std::vector<Hyperlink> links;
+};
+
+/// \brief Structured record summarizing the article's entity: an ordered
+/// list of attribute-value pairs plus the template it was instantiated from.
+struct Infobox {
+  /// Template name with the "Infobox" head removed and normalized, e.g.
+  /// "film". Empty when the template had no recognizable head.
+  std::string template_type;
+  /// Full raw template name, e.g. "Infobox film".
+  std::string template_name;
+  /// Attribute-value pairs; names are normalized (NormalizeAttributeName).
+  std::vector<std::pair<std::string, AttributeValue>> attributes;
+
+  /// \brief The schema S_I: attribute names in order, duplicates removed.
+  std::vector<std::string> Schema() const;
+
+  /// \brief First value for `name`, or nullptr.
+  const AttributeValue* Find(const std::string& name) const;
+};
+
+/// \brief One Wikipedia article in one language.
+struct Article {
+  /// Normalized title.
+  std::string title;
+  /// Language code ("en", "pt", "vi", ...).
+  std::string language;
+  /// The article's infobox, if it has one.
+  std::optional<Infobox> infobox;
+  /// Category names (without the namespace prefix), normalized.
+  std::vector<std::string> categories;
+  /// Cross-language links: language code -> normalized title of the article
+  /// describing the same entity in that language.
+  std::map<std::string, std::string> cross_language_links;
+  /// Entity type, resolved by the corpus (from the infobox template by
+  /// default). Empty when unknown.
+  std::string entity_type;
+  /// Non-empty when the page is a redirect: the normalized target title.
+  std::string redirect_to;
+
+  bool IsRedirect() const { return !redirect_to.empty(); }
+};
+
+}  // namespace wiki
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_WIKI_ARTICLE_H_

@@ -1,0 +1,135 @@
+// End-to-end integration tests: synthetic corpus -> full WikiMatch pipeline
+// -> evaluation against the generated ground truth.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "match/pipeline.h"
+#include "synth/generator.h"
+#include "text/normalize.h"
+
+namespace wikimatch {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny(7));
+    auto generated = generator.Generate();
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    corpus_ = new synth::GeneratedCorpus(std::move(generated).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static synth::GeneratedCorpus* corpus_;
+};
+
+synth::GeneratedCorpus* IntegrationTest::corpus_ = nullptr;
+
+TEST_F(IntegrationTest, CorpusHasArticlesInAllLanguages) {
+  const auto& corpus = corpus_->corpus;
+  EXPECT_GT(corpus.InfoboxCount("en"), 0u);
+  EXPECT_GT(corpus.InfoboxCount("pt"), 0u);
+  EXPECT_GT(corpus.InfoboxCount("vi"), 0u);
+}
+
+TEST_F(IntegrationTest, TypeMatcherFindsFilmMapping) {
+  match::TypeMatcher matcher;
+  auto matches = matcher.Match(corpus_->corpus, "pt", "en");
+  ASSERT_FALSE(matches.empty());
+  bool found_film = false;
+  for (const auto& m : matches) {
+    if (m.type_a == "filme" && m.type_b == "film") found_film = true;
+  }
+  EXPECT_TRUE(found_film);
+}
+
+TEST_F(IntegrationTest, DictionaryTranslatesEntityTitles) {
+  match::MatchPipeline pipeline(&corpus_->corpus);
+  // Any dual entity's pt title must translate to its en title.
+  size_t checked = 0;
+  for (const auto& rec : corpus_->entities) {
+    if (rec.pair_lang != "pt") continue;
+    auto t = pipeline.dictionary().Translate("pt", rec.titles.at("pt"), "en");
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, rec.titles.at("en"));
+    if (++checked > 10) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(IntegrationTest, PipelinePtEnProducesGoodAlignments) {
+  match::MatchPipeline pipeline(&corpus_->corpus);
+  auto result = pipeline.Run("pt", "en");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->per_type.empty());
+
+  std::vector<eval::Prf> rows;
+  for (const auto& type_result : result->per_type) {
+    auto truth_it = corpus_->hub_type_of.find({"en", type_result.type_b});
+    ASSERT_NE(truth_it, corpus_->hub_type_of.end());
+    const eval::MatchSet& truth = corpus_->ground_truth.at(truth_it->second);
+    eval::Prf prf = eval::WeightedPrf(type_result.alignment.matches, truth,
+                                      type_result.frequencies, "pt", "en");
+    rows.push_back(prf);
+  }
+  eval::Prf avg = eval::AveragePrf(rows);
+  // The tiny corpus is noisy; the full-scale behaviour is checked by the
+  // benches. These floors catch gross regressions.
+  EXPECT_GT(avg.precision, 0.6) << "precision";
+  EXPECT_GT(avg.recall, 0.4) << "recall";
+  EXPECT_GT(avg.f1, 0.5) << "f1";
+}
+
+TEST_F(IntegrationTest, PipelineVnEnProducesGoodAlignments) {
+  match::MatchPipeline pipeline(&corpus_->corpus);
+  auto result = pipeline.Run("vi", "en");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->per_type.empty());
+  const auto& film = result->per_type.front();
+  const eval::MatchSet& truth = corpus_->ground_truth.at("film");
+  eval::Prf prf = eval::WeightedPrf(film.alignment.matches, truth,
+                                    film.frequencies, "vi", "en");
+  EXPECT_GT(prf.precision, 0.6);
+  EXPECT_GT(prf.recall, 0.5);
+}
+
+TEST_F(IntegrationTest, GroundTruthContainsSeededFilmAlignments) {
+  const eval::MatchSet& truth = corpus_->ground_truth.at("film");
+  EXPECT_TRUE(truth.AreMatched({"en", "directed by"}, {"pt", "direção"}));
+  EXPECT_TRUE(truth.AreMatched({"en", "directed by"},
+                               {"vi", text::NormalizeAttributeName("đạo diễn")}));
+  EXPECT_FALSE(truth.AreMatched({"en", "directed by"}, {"pt", "duração"}));
+}
+
+TEST_F(IntegrationTest, SchemaOverlapRoughlyMatchesTargets) {
+  // film was configured with overlap 0.45 (pt) and 0.80 (vi).
+  const auto& corpus = corpus_->corpus;
+  const eval::MatchSet& truth = corpus_->ground_truth.at("film");
+  auto measure = [&](const std::string& lang, const std::string& type_local) {
+    double total = 0.0;
+    size_t n = 0;
+    for (wiki::ArticleId id : corpus.ArticlesOfType(lang, type_local)) {
+      wiki::ArticleId other = corpus.CrossLanguageTarget(id, "en");
+      if (other == wiki::kInvalidArticle) continue;
+      const auto& a = corpus.Get(id);
+      const auto& b = corpus.Get(other);
+      if (!b.infobox.has_value()) continue;
+      total += eval::SchemaOverlap(a.infobox->Schema(), b.infobox->Schema(),
+                                   lang, "en", truth);
+      ++n;
+    }
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+  };
+  double pt_overlap = measure("pt", "filme");
+  double vi_overlap = measure("vi", "phim");
+  EXPECT_NEAR(pt_overlap, 0.45, 0.18);
+  EXPECT_NEAR(vi_overlap, 0.80, 0.18);
+  EXPECT_LT(pt_overlap, vi_overlap);
+}
+
+}  // namespace
+}  // namespace wikimatch

@@ -1,0 +1,70 @@
+// Tests for the parallel-for helper and the pipeline's parallel execution
+// determinism.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "match/pipeline.h"
+#include "synth/generator.h"
+#include "util/parallel.h"
+
+namespace wikimatch {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  util::ParallelFor(hits.size(), 8, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, InlineWhenSingleThreaded) {
+  std::vector<int> order;
+  util::ParallelFor(5, 1, [&](size_t i) {
+    order.push_back(static_cast<int>(i));  // Safe: runs inline.
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroItems) {
+  bool called = false;
+  util::ParallelFor(0, 8, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::atomic<size_t> sum{0};
+  util::ParallelFor(3, 64, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 3u);
+}
+
+TEST(ParallelPipelineTest, SameResultsAsSequential) {
+  synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny(123));
+  auto gc = generator.Generate();
+  ASSERT_TRUE(gc.ok());
+  match::MatchPipeline pipeline(&gc->corpus);
+
+  match::PipelineOptions sequential;
+  sequential.num_threads = 1;
+  match::PipelineOptions parallel;
+  parallel.num_threads = 8;
+
+  auto a = pipeline.Run("pt", "en", sequential);
+  auto b = pipeline.Run("pt", "en", parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->per_type.size(), b->per_type.size());
+  for (size_t i = 0; i < a->per_type.size(); ++i) {
+    EXPECT_EQ(a->per_type[i].type_a, b->per_type[i].type_a);
+    EXPECT_EQ(a->per_type[i].alignment.matches.Clusters(),
+              b->per_type[i].alignment.matches.Clusters());
+  }
+}
+
+}  // namespace
+}  // namespace wikimatch

@@ -1,0 +1,378 @@
+// Unit tests for the query module: the c-query parser, the evaluator
+// (including hyperlink joins), the match-driven translator with relaxation,
+// and the case-study machinery.
+
+#include <gtest/gtest.h>
+
+#include "query/c_query.h"
+#include <algorithm>
+
+#include "query/case_study.h"
+#include "query/evaluator.h"
+#include "query/translator.h"
+#include "synth/generator.h"
+#include "wiki/wikitext_parser.h"
+
+namespace wikimatch {
+namespace query {
+namespace {
+
+// ------------------------------------------------------------------ Parser
+
+TEST(CQueryParserTest, SimpleQuery) {
+  auto q = ParseCQuery("actor(born=\"brazil\", website=?)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->parts.size(), 1u);
+  EXPECT_EQ(q->parts[0].type, "actor");
+  ASSERT_EQ(q->parts[0].constraints.size(), 2u);
+  EXPECT_EQ(q->parts[0].constraints[0].value, "brazil");
+  EXPECT_TRUE(q->parts[0].constraints[1].is_projection);
+}
+
+TEST(CQueryParserTest, Conjunction) {
+  auto q = ParseCQuery(
+      "actor(born=\"brazil\") and film(award=\"oscar\")");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->parts.size(), 2u);
+  EXPECT_EQ(q->parts[1].type, "film");
+}
+
+TEST(CQueryParserTest, AttributeAlternation) {
+  auto q = ParseCQuery(
+      "diretor(nascimento|data de nascimento >= 1970)");
+  ASSERT_TRUE(q.ok());
+  const Constraint& c = q->parts[0].constraints[0];
+  ASSERT_EQ(c.attributes.size(), 2u);
+  EXPECT_EQ(c.attributes[0], "nascimento");
+  EXPECT_EQ(c.attributes[1], "data de nascimento");
+  EXPECT_EQ(c.op, Op::kGe);
+  EXPECT_EQ(c.number, 1970.0);
+}
+
+TEST(CQueryParserTest, NumericOperators) {
+  for (const auto& [text, op] :
+       std::vector<std::pair<std::string, Op>>{{"<", Op::kLt},
+                                               {">", Op::kGt},
+                                               {"<=", Op::kLe},
+                                               {">=", Op::kGe}}) {
+    auto q = ParseCQuery("filme(receita " + text + " 10000000)");
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_EQ(q->parts[0].constraints[0].op, op);
+    EXPECT_TRUE(q->parts[0].constraints[0].is_numeric);
+  }
+}
+
+TEST(CQueryParserTest, UnicodeAttributeNames) {
+  auto q = ParseCQuery("phim(đạo diễn=?, thể loại=\"rock\")");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->parts[0].constraints[0].attributes[0], "đạo diễn");
+}
+
+TEST(CQueryParserTest, Errors) {
+  EXPECT_FALSE(ParseCQuery("").ok());
+  EXPECT_FALSE(ParseCQuery("actor").ok());
+  EXPECT_FALSE(ParseCQuery("actor(born=)").ok());
+  EXPECT_FALSE(ParseCQuery("actor(born=\"x) ").ok());
+  EXPECT_FALSE(ParseCQuery("actor(born<abc)").ok());
+  EXPECT_FALSE(ParseCQuery("actor(born<?)").ok());
+  EXPECT_FALSE(ParseCQuery("actor(born=1) garbage").ok());
+}
+
+TEST(CQueryParserTest, ToStringRoundTrips) {
+  auto q = ParseCQuery("actor(born>=1970, website=?) and film(name=\"x\")");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseCQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString();
+  EXPECT_EQ(q2->parts.size(), 2u);
+  EXPECT_EQ(q2->ToString(), q->ToString());
+}
+
+// --------------------------------------------------------------- Evaluator
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wiki::WikitextParser parser;
+    auto add = [&](const std::string& title, const std::string& lang,
+                   const std::string& text) {
+      auto article = parser.ParseArticle(title, lang, text);
+      ASSERT_TRUE(article.ok());
+      ASSERT_TRUE(corpus_.AddArticle(std::move(article).ValueOrDie()).ok());
+    };
+    add("Actor One", "en",
+        "{{Infobox actor\n| born = june 4 1950, [[Brazil]]\n"
+        "| occupation = [[politician]]\n}}\n");
+    add("Actor Two", "en",
+        "{{Infobox actor\n| born = may 1 1980, [[France]]\n"
+        "| occupation = [[actor work|acting]]\n}}\n");
+    add("Film One", "en",
+        "{{Infobox film\n| starring = [[Actor One]], [[Actor Two]]\n"
+        "| gross = US$ 50000000\n}}\n");
+    add("Film Two", "en",
+        "{{Infobox film\n| starring = [[Actor Two]]\n"
+        "| gross = US$ 1000\n}}\n");
+    corpus_.Finalize();
+  }
+
+  std::vector<Answer> Run(const std::string& text) {
+    auto q = ParseCQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    QueryEvaluator evaluator(&corpus_, "en");
+    auto answers = evaluator.Run(*q);
+    EXPECT_TRUE(answers.ok()) << answers.status().ToString();
+    return std::move(answers).ValueOrDie();
+  }
+
+  wiki::Corpus corpus_;
+};
+
+TEST_F(EvaluatorTest, EqualityOnLinkedValue) {
+  auto answers = Run("actor(born=\"brazil\")");
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(corpus_.Get(answers[0].article).title, "actor one");
+}
+
+TEST_F(EvaluatorTest, NumericComparisonUsesLargestNumber) {
+  // born = "june 4 1950": the year, not the day, must drive comparisons.
+  EXPECT_EQ(Run("actor(born<1975)").size(), 1u);
+  EXPECT_EQ(Run("actor(born<1700)").size(), 0u);
+  EXPECT_EQ(Run("actor(born>1975)").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, ProjectionRequiresPresence) {
+  auto answers = Run("actor(occupation=?)");
+  EXPECT_EQ(answers.size(), 2u);
+  ASSERT_FALSE(answers[0].projections.empty());
+}
+
+TEST_F(EvaluatorTest, JoinThroughHyperlinks) {
+  // Films starring an actor who is a politician: Film One only.
+  auto answers =
+      Run("film(gross=?) and actor(occupation=\"politician\")");
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(corpus_.Get(answers[0].article).title, "film one");
+}
+
+TEST_F(EvaluatorTest, JoinWithUnsatisfiableSecondaryIsEmpty) {
+  EXPECT_EQ(Run("film(gross=?) and actor(occupation=\"astronaut\")").size(),
+            0u);
+}
+
+TEST_F(EvaluatorTest, UnknownTypeIsNotFound) {
+  auto q = ParseCQuery("martian(name=?)");
+  ASSERT_TRUE(q.ok());
+  QueryEvaluator evaluator(&corpus_, "en");
+  EXPECT_FALSE(evaluator.Run(*q).ok());
+}
+
+TEST_F(EvaluatorTest, TopKTruncates) {
+  auto q = ParseCQuery("actor(born=?)");
+  ASSERT_TRUE(q.ok());
+  QueryEvaluator evaluator(&corpus_, "en");
+  EvaluatorOptions options;
+  options.top_k = 1;
+  auto answers = evaluator.Run(*q, options);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+// -------------------------------------------------------------- Translator
+
+class TranslatorTest : public ::testing::Test {
+ protected:
+  TranslatorTest() {
+    matches_.AddPair({"pt", "nascimento"}, {"en", "born"});
+    matches_.AddPair({"pt", "data de nascimento"}, {"en", "born"});
+    matches_.AddPair({"pt", "ocupação"}, {"en", "occupation"});
+    attribute_matches_["actor"] = &matches_;
+    type_matches_.push_back({"ator", "actor", 10, 1.0});
+    dictionary_.Add("pt", "brasil", "en", "brazil");
+  }
+
+  QueryTranslator MakeTranslator() {
+    return QueryTranslator("pt", "en", type_matches_, attribute_matches_,
+                           &dictionary_);
+  }
+
+  eval::MatchSet matches_;
+  std::map<std::string, const eval::MatchSet*> attribute_matches_;
+  std::vector<match::TypeMatch> type_matches_;
+  match::TranslationDictionary dictionary_;
+};
+
+TEST_F(TranslatorTest, TranslatesTypeAttributesAndValues) {
+  auto q = ParseCQuery("ator(nascimento=\"brasil\", ocupação=?)");
+  ASSERT_TRUE(q.ok());
+  TranslationReport report;
+  auto translated = MakeTranslator().Translate(*q, &report);
+  ASSERT_TRUE(translated.ok()) << translated.status().ToString();
+  EXPECT_EQ(translated->parts[0].type, "actor");
+  EXPECT_EQ(translated->parts[0].constraints[0].attributes[0], "born");
+  EXPECT_EQ(translated->parts[0].constraints[0].value, "brazil");
+  EXPECT_EQ(report.constraints_translated, 2u);
+  EXPECT_EQ(report.constraints_relaxed, 0u);
+}
+
+TEST_F(TranslatorTest, AlternationMergesCorrespondents) {
+  auto q = ParseCQuery("ator(nascimento|data de nascimento < 1975)");
+  ASSERT_TRUE(q.ok());
+  auto translated = MakeTranslator().Translate(*q);
+  ASSERT_TRUE(translated.ok());
+  // Both alternatives map to "born"; duplicates are tolerable but at least
+  // one "born" must be present.
+  const auto& attrs = translated->parts[0].constraints[0].attributes;
+  EXPECT_NE(std::find(attrs.begin(), attrs.end(), "born"), attrs.end());
+}
+
+TEST_F(TranslatorTest, RelaxesUntranslatableConstraint) {
+  auto q = ParseCQuery("ator(sem correspondencia=\"x\", ocupação=?)");
+  ASSERT_TRUE(q.ok());
+  TranslationReport report;
+  auto translated = MakeTranslator().Translate(*q, &report);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(translated->parts[0].constraints.size(), 1u);
+  EXPECT_EQ(report.constraints_relaxed, 1u);
+}
+
+TEST_F(TranslatorTest, DropsUnmappedType) {
+  auto q = ParseCQuery("livro(nome=?) and ator(ocupação=?)");
+  ASSERT_TRUE(q.ok());
+  TranslationReport report;
+  auto translated = MakeTranslator().Translate(*q, &report);
+  ASSERT_TRUE(translated.ok());
+  ASSERT_EQ(translated->parts.size(), 1u);
+  EXPECT_EQ(translated->parts[0].type, "actor");
+  EXPECT_EQ(report.parts_dropped, 1u);
+}
+
+TEST_F(TranslatorTest, FullyUntranslatableQueryFails) {
+  auto q = ParseCQuery("livro(nome=?)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(MakeTranslator().Translate(*q).ok());
+}
+
+// -------------------------------------------------------------- CaseStudy
+
+class CaseStudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny(55));
+    auto g = generator.Generate();
+    ASSERT_TRUE(g.ok());
+    gc_ = new synth::GeneratedCorpus(std::move(g).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete gc_;
+    gc_ = nullptr;
+  }
+  static synth::GeneratedCorpus* gc_;
+};
+
+synth::GeneratedCorpus* CaseStudyTest::gc_ = nullptr;
+
+TEST_F(CaseStudyTest, BuildsQueriesForAvailableTypes) {
+  auto queries = BuildCaseQueries(*gc_);
+  // Tiny corpus has film + actor: at least the film/actor patterns apply.
+  EXPECT_GE(queries.size(), 4u);
+  for (const auto& q : queries) {
+    EXPECT_FALSE(q.constraints.empty());
+    EXPECT_TRUE(q.type == "film" || q.type == "actor") << q.type;
+  }
+}
+
+TEST_F(CaseStudyTest, SurfaceQueriesRenderPerLanguage) {
+  auto queries = BuildCaseQueries(*gc_);
+  ASSERT_FALSE(queries.empty());
+  auto en = RenderSurfaceQuery(queries[0], *gc_, "en");
+  auto pt = RenderSurfaceQuery(queries[0], *gc_, "pt");
+  ASSERT_TRUE(en.ok());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(en->parts[0].type, "film");
+  EXPECT_EQ(pt->parts[0].type, "filme");
+  EXPECT_FALSE(pt->parts[0].constraints.empty());
+}
+
+TEST_F(CaseStudyTest, UnknownTypeFailsToRender) {
+  CaseQuery cq;
+  cq.type = "nonexistent";
+  EXPECT_FALSE(RenderSurfaceQuery(cq, *gc_, "en").ok());
+}
+
+TEST_F(CaseStudyTest, OracleJudgesFactsNotSurface) {
+  auto queries = BuildCaseQueries(*gc_);
+  ASSERT_FALSE(queries.empty());
+  RelevanceOracle oracle(gc_);
+  // A support article title is not an entity: judged 0.
+  EXPECT_EQ(oracle.Judge(queries[0], "en",
+                         gc_->supports.places[0].titles.at("en")),
+            0.0);
+  // Entities of the wrong type score 0 too.
+  for (const auto& rec : gc_->entities) {
+    if (rec.type != queries[0].type) {
+      EXPECT_EQ(oracle.Judge(queries[0], "en", rec.titles.at("en")), 0.0);
+      break;
+    }
+  }
+}
+
+TEST_F(CaseStudyTest, JoinQueryRendersAndJudges) {
+  auto queries = BuildCaseQueries(*gc_);
+  const CaseQuery* join = nullptr;
+  for (const auto& q : queries) {
+    if (!q.join_type.empty()) join = &q;
+  }
+  ASSERT_NE(join, nullptr) << "workload must contain a join query";
+  EXPECT_EQ(join->type, "film");
+  EXPECT_EQ(join->join_type, "actor");
+  auto rendered = RenderSurfaceQuery(*join, *gc_, "en");
+  ASSERT_TRUE(rendered.ok());
+  ASSERT_EQ(rendered->parts.size(), 2u);
+  EXPECT_EQ(rendered->parts[1].type, "actor");
+  // The join query must be answerable end-to-end.
+  QueryEvaluator evaluator(&gc_->corpus, "en");
+  auto answers = evaluator.Run(*rendered);
+  ASSERT_TRUE(answers.ok());
+  RelevanceOracle oracle(gc_);
+  double best = 0.0;
+  for (const auto& a : *answers) {
+    best = std::max(best, oracle.Judge(*join, "en",
+                                       gc_->corpus.Get(a.article).title));
+  }
+  EXPECT_EQ(best, 4.0);
+}
+
+TEST_F(CaseStudyTest, CrossrefFactsPointAtActorEntities) {
+  bool found = false;
+  for (const auto& rec : gc_->entities) {
+    if (rec.type != "film") continue;
+    auto fact_it = rec.facts.find("starring");
+    if (fact_it == rec.facts.end()) continue;
+    if (fact_it->second.crossref_type.empty()) continue;
+    found = true;
+    EXPECT_EQ(fact_it->second.crossref_type, "actor");
+    for (int ref : fact_it->second.refs) {
+      ASSERT_GE(ref, 0);
+      ASSERT_LT(static_cast<size_t>(ref), gc_->entities.size());
+      EXPECT_EQ(gc_->entities[static_cast<size_t>(ref)].type, "actor");
+    }
+    break;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CaseStudyTest, OracleScaleIsZeroToFour) {
+  auto queries = BuildCaseQueries(*gc_);
+  RelevanceOracle oracle(gc_);
+  for (const auto& q : queries) {
+    for (const auto& rec : gc_->entities) {
+      if (!rec.titles.count("en")) continue;
+      double score = oracle.Judge(q, "en", rec.titles.at("en"));
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 4.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace wikimatch

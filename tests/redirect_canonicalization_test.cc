@@ -1,0 +1,101 @@
+// Integration tests for redirect-aware link machinery: canonicalization in
+// the schema builder, Bouma's value equivalence, and alias-targeted links
+// in the generated corpus.
+
+#include <gtest/gtest.h>
+
+#include "baselines/bouma_matcher.h"
+#include "match/aligner.h"
+#include "match/schema_builder.h"
+#include "synth/generator.h"
+#include "wiki/corpus.h"
+#include "wiki/wikitext_parser.h"
+
+namespace wikimatch {
+namespace {
+
+class RedirectLinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wiki::WikitextParser parser;
+    auto add = [&](const std::string& title, const std::string& lang,
+                   const std::string& text) {
+      auto article = parser.ParseArticle(title, lang, text);
+      ASSERT_TRUE(article.ok());
+      ASSERT_TRUE(corpus_.AddArticle(std::move(article).ValueOrDie()).ok());
+    };
+    // Canonical articles + a redirect alias on the en side.
+    add("United States", "en",
+        "'''United States'''\n[[pt:Estados Unidos]]\n");
+    add("USA", "en", "#REDIRECT [[United States]]");
+    add("Estados Unidos", "pt",
+        "'''Estados Unidos'''\n[[en:United States]]\n");
+    // One film pair: the en side links via the redirect, the pt side
+    // directly.
+    add("Film R", "en",
+        "{{Infobox film\n| country = [[USA]]\n}}\n[[pt:Filme R]]\n");
+    add("Filme R", "pt",
+        "{{Info filme\n| país = [[Estados Unidos]]\n}}\n[[en:Film R]]\n");
+    add("Film S", "en",
+        "{{Infobox film\n| country = [[United States]]\n}}\n"
+        "[[pt:Filme S]]\n");
+    add("Filme S", "pt",
+        "{{Info filme\n| país = [[Estados Unidos]]\n}}\n[[en:Film S]]\n");
+    corpus_.Finalize();
+    dictionary_.Build(corpus_);
+  }
+
+  wiki::Corpus corpus_;
+  match::TranslationDictionary dictionary_;
+};
+
+TEST_F(RedirectLinkTest, LsimUnifiesRedirectedTargets) {
+  auto data = match::BuildTypePairData(corpus_, dictionary_, "pt", "filme",
+                                       "en", "film");
+  ASSERT_TRUE(data.ok());
+  size_t pais = data->GroupIndex({"pt", "país"});
+  size_t country = data->GroupIndex({"en", "country"});
+  ASSERT_NE(pais, SIZE_MAX);
+  ASSERT_NE(country, SIZE_MAX);
+  // [[usa]] resolves through the redirect to [[united states]], which is
+  // cross-language linked to [[estados unidos]]: one canonical target.
+  double lsim = match::AttributeAligner::LinkSimilarity(
+      data->groups[pais], data->groups[country]);
+  EXPECT_NEAR(lsim, 1.0, 1e-9);
+}
+
+TEST_F(RedirectLinkTest, BoumaSeesRedirectedValuesAsEqual) {
+  auto result = baselines::RunBoumaMatcher(corpus_, "pt", "filme", "en",
+                                           "film");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matches.AreMatched({"pt", "país"},
+                                         {"en", "country"}));
+}
+
+TEST(GeneratedRedirectTest, AliasPagesExistAndResolve) {
+  synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny(31));
+  auto gc = generator.Generate();
+  ASSERT_TRUE(gc.ok());
+  size_t redirect_pages = 0;
+  size_t resolvable = 0;
+  for (const auto* pool : {&gc->supports.entities, &gc->supports.places}) {
+    for (const auto& e : *pool) {
+      for (const auto& [lang, is_page] : e.alias_is_page) {
+        if (!is_page) continue;
+        ++redirect_pages;
+        wiki::ArticleId id =
+            gc->corpus.FindByTitle(lang, e.aliases.at(lang));
+        if (id == wiki::kInvalidArticle) continue;
+        // Resolution must land on the canonical article, not the redirect.
+        EXPECT_EQ(gc->corpus.Get(id).title, e.titles.at(lang));
+        EXPECT_FALSE(gc->corpus.Get(id).IsRedirect());
+        ++resolvable;
+      }
+    }
+  }
+  EXPECT_GT(redirect_pages, 0u);
+  EXPECT_GT(resolvable, 0u);
+}
+
+}  // namespace
+}  // namespace wikimatch

@@ -1,0 +1,269 @@
+// Robustness and property tests across modules:
+//  * the wikitext parser must never fail on arbitrary mutated input —
+//    malformed markup degrades, it does not error or crash;
+//  * the dump reader must survive truncated/garbled XML;
+//  * aligner behavior must be monotone in its thresholds;
+//  * the full pipeline must be deterministic.
+
+#include <gtest/gtest.h>
+
+#include "match/aligner.h"
+#include "match/pipeline.h"
+#include "synth/generator.h"
+#include "util/rng.h"
+#include "util/utf8.h"
+#include "wiki/dump_reader.h"
+#include "wiki/wikitext_parser.h"
+
+namespace wikimatch {
+namespace {
+
+const char kSeedArticle[] =
+    "{{Infobox film\n| directed by = [[Bernardo Bertolucci]]\n"
+    "| starring = {{ubl|[[John Lone]]|[[Joan Chen]]}}\n"
+    "| release date = [[november 18]] 1987\n"
+    "| notes = <!-- hidden --><ref>x</ref>value\n}}\n"
+    "'''Prose''' with [[a link|anchor]].\n"
+    "[[category:films]]\n[[pt:Filme]]\n";
+
+// Mutates `s` with deletions, duplications, and byte flips.
+std::string Mutate(const std::string& s, util::Rng* rng, int edits) {
+  std::string out = s;
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng->NextBounded(out.size());
+    switch (rng->NextBounded(4)) {
+      case 0:  // delete a byte
+        out.erase(pos, 1);
+        break;
+      case 1:  // duplicate a span
+        out.insert(pos, out.substr(pos, rng->NextBounded(8) + 1));
+        break;
+      case 2:  // flip to a structural byte
+        out[pos] = "{}[]|=<>"[rng->NextBounded(8)];
+        break;
+      case 3:  // flip to a random byte (may break UTF-8)
+        out[pos] = static_cast<char>(rng->NextBounded(256));
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(ParserFuzzTest, NeverFailsOnMutatedWikitext) {
+  wiki::WikitextParser parser;
+  util::Rng rng(0xF022);
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = Mutate(kSeedArticle, &rng, 1 + round % 12);
+    auto article = parser.ParseArticle("T", "en", mutated);
+    // Parsing must succeed (title and language are valid); content just
+    // degrades.
+    ASSERT_TRUE(article.ok()) << "round " << round;
+    // Everything extracted must be structurally sane.
+    if (article->infobox.has_value()) {
+      for (const auto& [attr, value] : article->infobox->attributes) {
+        EXPECT_FALSE(attr.empty());
+        EXPECT_FALSE(value.raw.empty());
+      }
+    }
+  }
+}
+
+TEST(ParserFuzzTest, PathologicalNesting) {
+  wiki::WikitextParser parser;
+  std::string deep = "{{Infobox film\n| a = ";
+  for (int i = 0; i < 50; ++i) deep += "{{x|";
+  deep += "core";
+  for (int i = 0; i < 50; ++i) deep += "}}";
+  deep += "\n}}\n";
+  auto article = parser.ParseArticle("T", "en", deep);
+  ASSERT_TRUE(article.ok());
+}
+
+TEST(ParserFuzzTest, HugeFlatValue) {
+  wiki::WikitextParser parser;
+  std::string big = "{{Infobox film\n| a = " + std::string(200000, 'x') +
+                    "\n}}\n";
+  auto article = parser.ParseArticle("T", "en", big);
+  ASSERT_TRUE(article.ok());
+  ASSERT_TRUE(article->infobox.has_value());
+}
+
+TEST(DumpFuzzTest, TruncatedXmlNeverCrashes) {
+  std::string xml =
+      "<mediawiki><page><title>A</title><ns>0</ns><revision>"
+      "<text>{{Infobox film}}</text></revision></page></mediawiki>";
+  for (size_t cut = 0; cut < xml.size(); cut += 3) {
+    auto pages = wiki::ParseDump(xml.substr(0, cut));
+    // Either parses a prefix or reports an error; both are acceptable.
+    (void)pages;
+  }
+  SUCCEED();
+}
+
+TEST(DumpFuzzTest, MutatedXml) {
+  std::string xml =
+      "<mediawiki><page><title>A &amp; B</title><ns>0</ns><revision>"
+      "<text>body</text></revision></page></mediawiki>";
+  util::Rng rng(0xD09);
+  for (int round = 0; round < 300; ++round) {
+    auto pages = wiki::ParseDump(Mutate(xml, &rng, 1 + round % 8));
+    if (pages.ok()) {
+      for (const auto& page : *pages) {
+        EXPECT_FALSE(page.title.empty());
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ Aligner properties
+
+class AlignerPropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny(99));
+    auto g = generator.Generate();
+    ASSERT_TRUE(g.ok());
+    gc_ = new synth::GeneratedCorpus(std::move(g).ValueOrDie());
+    pipeline_ = new match::MatchPipeline(&gc_->corpus);
+    auto data = pipeline_->BuildPair("pt", "filme", "en", "film");
+    ASSERT_TRUE(data.ok());
+    data_ = new match::TypePairData(std::move(data).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete pipeline_;
+    delete gc_;
+    data_ = nullptr;
+    pipeline_ = nullptr;
+    gc_ = nullptr;
+  }
+
+  static size_t NumMatches(const match::MatcherConfig& config) {
+    match::AttributeAligner aligner(config);
+    auto result = aligner.Align(*data_);
+    EXPECT_TRUE(result.ok());
+    return result->matches.CrossLanguagePairs("pt", "en").size();
+  }
+
+  static synth::GeneratedCorpus* gc_;
+  static match::MatchPipeline* pipeline_;
+  static match::TypePairData* data_;
+};
+
+synth::GeneratedCorpus* AlignerPropertyTest::gc_ = nullptr;
+match::MatchPipeline* AlignerPropertyTest::pipeline_ = nullptr;
+match::TypePairData* AlignerPropertyTest::data_ = nullptr;
+
+TEST_F(AlignerPropertyTest, Deterministic) {
+  match::MatcherConfig config;
+  match::AttributeAligner aligner(config);
+  auto a = aligner.Align(*data_);
+  auto b = aligner.Align(*data_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->matches.Clusters(), b->matches.Clusters());
+  EXPECT_EQ(a->all_pairs.size(), b->all_pairs.size());
+}
+
+TEST_F(AlignerPropertyTest, TlsiRaisingShrinksCandidateSet) {
+  // Higher TLSI strictly admits fewer queue candidates. The *match* count
+  // is only loosely monotone (dropping one early absorption can enable a
+  // different merge later), so it gets a slack bound.
+  size_t prev_matches = SIZE_MAX;
+  for (double t : {0.0, 0.3, 0.6, 0.9, 0.99}) {
+    match::MatcherConfig config;
+    config.t_lsi = t;
+    config.use_revise_uncertain = false;  // isolate queue admission
+    size_t n = NumMatches(config);
+    EXPECT_LE(n, prev_matches == SIZE_MAX ? SIZE_MAX : prev_matches + 2)
+        << "t_lsi " << t;
+    prev_matches = n;
+  }
+  // Strict invariant: admitted candidates shrink with the threshold.
+  match::AttributeAligner aligner{match::MatcherConfig{}};
+  auto result = aligner.Align(*data_);
+  ASSERT_TRUE(result.ok());
+  auto admitted = [&](double t) {
+    size_t count = 0;
+    for (const auto& p : result->all_pairs) {
+      if (p.lsi > t) ++count;
+    }
+    return count;
+  };
+  EXPECT_GE(admitted(0.1), admitted(0.5));
+  EXPECT_GE(admitted(0.5), admitted(0.9));
+}
+
+TEST_F(AlignerPropertyTest, ReviseUncertainOnlyAddsMatches) {
+  match::MatcherConfig with;
+  match::MatcherConfig without = with;
+  without.use_revise_uncertain = false;
+  match::AttributeAligner a_with(with);
+  match::AttributeAligner a_without(without);
+  auto r_with = a_with.Align(*data_);
+  auto r_without = a_without.Align(*data_);
+  ASSERT_TRUE(r_with.ok());
+  ASSERT_TRUE(r_without.ok());
+  // Every certain match survives revision (revision never removes).
+  for (const auto& [a, b] :
+       r_without->matches.CrossLanguagePairs("pt", "en")) {
+    EXPECT_TRUE(r_with->matches.AreMatched(a, b))
+        << a.name << " / " << b.name;
+  }
+}
+
+TEST_F(AlignerPropertyTest, AllScoresInRange) {
+  match::AttributeAligner aligner{match::MatcherConfig{}};
+  auto result = aligner.Align(*data_);
+  ASSERT_TRUE(result.ok());
+  for (const auto& p : result->all_pairs) {
+    EXPECT_GE(p.vsim, 0.0);
+    EXPECT_LE(p.vsim, 1.0 + 1e-12);
+    EXPECT_GE(p.lsim, 0.0);
+    EXPECT_LE(p.lsim, 1.0 + 1e-12);
+    EXPECT_GE(p.lsi, 0.0);
+    EXPECT_LE(p.lsi, 1.0 + 1e-12);
+  }
+}
+
+TEST_F(AlignerPropertyTest, MatchedAttributesExistInSchema) {
+  match::AttributeAligner aligner{match::MatcherConfig{}};
+  auto result = aligner.Align(*data_);
+  ASSERT_TRUE(result.ok());
+  for (const auto& cluster : result->matches.Clusters()) {
+    for (const auto& attr : cluster) {
+      EXPECT_NE(data_->GroupIndex(attr), SIZE_MAX)
+          << attr.language << ":" << attr.name;
+    }
+  }
+}
+
+// Generator determinism across scales (property sweep).
+class GeneratorScaleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorScaleTest, PipelineIsDeterministic) {
+  synth::GeneratorOptions options = synth::GeneratorOptions::Tiny(GetParam());
+  synth::CorpusGenerator g1(options);
+  synth::CorpusGenerator g2(options);
+  auto c1 = g1.Generate();
+  auto c2 = g2.Generate();
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  match::MatchPipeline p1(&c1->corpus);
+  match::MatchPipeline p2(&c2->corpus);
+  auto r1 = p1.Run("pt", "en");
+  auto r2 = p2.Run("pt", "en");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->per_type.size(), r2->per_type.size());
+  for (size_t i = 0; i < r1->per_type.size(); ++i) {
+    EXPECT_EQ(r1->per_type[i].alignment.matches.Clusters(),
+              r2->per_type[i].alignment.matches.Clusters());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorScaleTest,
+                         ::testing::Values(1, 17, 42, 2026));
+
+}  // namespace
+}  // namespace wikimatch

@@ -1,0 +1,462 @@
+// Unit and property tests for the synthetic-corpus substrate: lexicon
+// synthesis, the calibrated concept model, value rendering, the corpus
+// generator's invariants, and the MT oracle.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/concept_model.h"
+#include "synth/generator.h"
+#include "synth/lexicon.h"
+#include "synth/mt_oracle.h"
+#include "synth/value_render.h"
+#include "text/normalize.h"
+#include "util/utf8.h"
+
+namespace wikimatch {
+namespace synth {
+namespace {
+
+// ----------------------------------------------------------------- Lexicon
+
+TEST(LexiconTest, WordsAreNonEmptyAndValidUtf8) {
+  for (Morphology m : {Morphology::kEnglish, Morphology::kRomance,
+                       Morphology::kVietnamese}) {
+    WordGenerator gen(m);
+    util::Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+      std::string w = gen.MakeWord(&rng);
+      EXPECT_FALSE(w.empty());
+      EXPECT_TRUE(util::IsValidUtf8(w));
+    }
+  }
+}
+
+TEST(LexiconTest, DeterministicForSameRngState) {
+  WordGenerator gen(Morphology::kRomance);
+  util::Rng a(11);
+  util::Rng b(11);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(gen.MakeWord(&a), gen.MakeWord(&b));
+  }
+}
+
+TEST(LexiconTest, CognateSharesRoot) {
+  WordGenerator gen(Morphology::kRomance);
+  util::Rng rng(5);
+  EXPECT_EQ(gen.Cognate("production", &rng), "producção");
+  EXPECT_EQ(gen.Cognate("payment", &rng), "paymento");
+  std::string c = gen.Cognate("editor", &rng);
+  EXPECT_EQ(c.rfind("edit", 0), 0u);  // Shares the root.
+}
+
+TEST(LexiconTest, ProperNamesCapitalized) {
+  WordGenerator gen(Morphology::kEnglish);
+  util::Rng rng(7);
+  std::string name = gen.MakeProperName(&rng, 2);
+  EXPECT_GE(name[0], 'A');
+  EXPECT_LE(name[0], 'Z');
+  EXPECT_NE(name.find(' '), std::string::npos);
+}
+
+TEST(LexiconTest, SeedConceptsCoverThreeLanguages) {
+  for (const auto& seed : FilmSeedConcepts()) {
+    EXPECT_FALSE(seed.id.empty());
+    EXPECT_TRUE(ValueKindFromString(seed.kind).ok()) << seed.kind;
+    for (const auto& lang : {"en", "pt", "vi"}) {
+      auto it = seed.forms.find(lang);
+      ASSERT_NE(it, seed.forms.end()) << seed.id << " lacks " << lang;
+      EXPECT_FALSE(it->second.empty());
+    }
+  }
+  EXPECT_GE(ActorSeedConcepts().size(), 10u);
+}
+
+TEST(LexiconTest, SeedTypeNamesIncludeTheFourViTypes) {
+  const auto& names = SeedTypeNames();
+  for (const auto& type : {"film", "show", "actor", "artist"}) {
+    ASSERT_TRUE(names.count(type));
+    EXPECT_TRUE(names.at(type).count("vi")) << type;
+  }
+  EXPECT_FALSE(names.at("book").count("vi"));
+}
+
+// ------------------------------------------------------------ ConceptModel
+
+TEST(ValueKindTest, ParsesAllTags) {
+  for (const auto& tag : {"date", "year", "number", "duration", "money",
+                          "entity", "entity_list", "place", "term", "text",
+                          "name"}) {
+    EXPECT_TRUE(ValueKindFromString(tag).ok()) << tag;
+  }
+  EXPECT_FALSE(ValueKindFromString("bogus").ok());
+}
+
+TypeModelConfig FilmConfig(double overlap_pt, double overlap_vi) {
+  TypeModelConfig cfg;
+  cfg.type_name = "film";
+  cfg.num_concepts = 18;
+  cfg.dual_count["pt"] = 100;
+  cfg.dual_count["vi"] = 50;
+  cfg.overlap["pt"] = overlap_pt;
+  cfg.overlap["vi"] = overlap_vi;
+  return cfg;
+}
+
+TEST(ConceptModelTest, SeededFilmConceptsPresent) {
+  util::Rng rng(13);
+  // High overlap targets: no expression dropout, so every seeded form
+  // survives.
+  auto model = BuildTypeModel(FilmConfig(0.85, 0.9), "en", &rng);
+  ASSERT_TRUE(model.ok());
+  bool found_directed = false;
+  for (const auto& c : model->concepts) {
+    if (c.id == "directed_by") {
+      found_directed = true;
+      EXPECT_EQ(c.kind, ValueKind::kEntity);
+      ASSERT_TRUE(c.forms.count("pt"));
+      EXPECT_EQ(c.forms.at("pt")[0], "direção");
+    }
+  }
+  EXPECT_TRUE(found_directed);
+  EXPECT_EQ(model->names.at("pt"), "filme");
+  EXPECT_EQ(model->names.at("vi"), "phim");
+}
+
+TEST(ConceptModelTest, CalibrationHitsOverlapTargets) {
+  util::Rng rng(17);
+  auto model = BuildTypeModel(FilmConfig(0.36, 0.87), "en", &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(ExpectedOverlap(*model, "en", "pt"), 0.36, 0.06);
+  EXPECT_NEAR(ExpectedOverlap(*model, "en", "vi"), 0.87, 0.06);
+}
+
+TEST(ConceptModelTest, HighOverlapImpliesHighInclusionProbs) {
+  util::Rng rng(19);
+  auto model = BuildTypeModel(FilmConfig(0.40, 0.87), "en", &rng);
+  ASSERT_TRUE(model.ok());
+  double sum_vi = 0.0;
+  double sum_pt = 0.0;
+  size_t n_vi = 0;
+  size_t n_pt = 0;
+  for (const auto& c : model->concepts) {
+    if (c.include_prob.count("vi")) {
+      sum_vi += c.include_prob.at("vi");
+      ++n_vi;
+    }
+    if (c.include_prob.count("pt")) {
+      sum_pt += c.include_prob.at("pt");
+      ++n_pt;
+    }
+  }
+  ASSERT_GT(n_vi, 0u);
+  ASSERT_GT(n_pt, 0u);
+  EXPECT_GT(sum_vi / n_vi, sum_pt / n_pt);
+}
+
+TEST(ConceptModelTest, RequiresALanguage) {
+  TypeModelConfig cfg;
+  cfg.type_name = "empty";
+  util::Rng rng(1);
+  EXPECT_FALSE(BuildTypeModel(cfg, "en", &rng).ok());
+}
+
+// Property: calibration works across the whole overlap range.
+class OverlapCalibrationTest : public ::testing::TestWithParam<double> {};
+TEST_P(OverlapCalibrationTest, ExpectedOverlapNearTarget) {
+  TypeModelConfig cfg;
+  cfg.type_name = "generic";
+  cfg.num_concepts = 16;
+  cfg.dual_count["pt"] = 200;
+  cfg.overlap["pt"] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(GetParam() * 1000) + 3);
+  auto model = BuildTypeModel(cfg, "en", &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(ExpectedOverlap(*model, "en", "pt"), GetParam(), 0.08);
+}
+INSTANTIATE_TEST_SUITE_P(Targets, OverlapCalibrationTest,
+                         ::testing::Values(0.15, 0.31, 0.45, 0.59, 0.75,
+                                           0.87));
+
+// ------------------------------------------------------------ ValueRender
+
+class ValueRenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) {
+      SupportEntity e;
+      e.titles["en"] = "person " + std::to_string(i);
+      e.titles["pt"] = "pessoa " + std::to_string(i);
+      pools_.entities.push_back(e);
+    }
+    SupportEntity place;
+    place.titles["en"] = "northland";
+    place.titles["pt"] = "nortelândia";
+    place.aliases["en"] = "nl";
+    pools_.places.push_back(place);
+  }
+
+  SupportPools pools_;
+  WordGenerator en_{Morphology::kEnglish};
+  RenderNoise quiet_{0.0, 0.0, 0.0, 0.0};
+};
+
+TEST_F(ValueRenderTest, DateFormatsPerLanguage) {
+  Fact fact;
+  fact.kind = ValueKind::kDate;
+  fact.year = 1950;
+  fact.month = 12;
+  fact.day = 18;
+  util::Rng rng(3);
+  std::string en = RenderValue(fact, "en", pools_, quiet_, en_, &rng);
+  std::string pt = RenderValue(fact, "pt", pools_, quiet_, en_, &rng);
+  std::string vi = RenderValue(fact, "vi", pools_, quiet_, en_, &rng);
+  EXPECT_NE(en.find("december"), std::string::npos);
+  EXPECT_NE(en.find("1950"), std::string::npos);
+  EXPECT_NE(pt.find("18 de dezembro de"), std::string::npos);
+  EXPECT_NE(vi.find("18 tháng 12 năm 1950"), std::string::npos);
+}
+
+TEST_F(ValueRenderTest, MoneyMagnitudeDiffersPerLanguage) {
+  Fact fact;
+  fact.kind = ValueKind::kMoney;
+  fact.number = 44000000;
+  util::Rng rng(5);
+  EXPECT_EQ(RenderValue(fact, "en", pools_, quiet_, en_, &rng),
+            "US$ 44000000");
+  EXPECT_EQ(RenderValue(fact, "pt", pools_, quiet_, en_, &rng),
+            "US$ 44 milhões");
+  EXPECT_EQ(RenderValue(fact, "vi", pools_, quiet_, en_, &rng),
+            "44 triệu USD");
+}
+
+TEST_F(ValueRenderTest, EntityRendersAsLink) {
+  Fact fact;
+  fact.kind = ValueKind::kEntity;
+  fact.ref = 2;
+  util::Rng rng(7);
+  EXPECT_EQ(RenderValue(fact, "en", pools_, quiet_, en_, &rng),
+            "[[person 2]]");
+  EXPECT_EQ(RenderValue(fact, "pt", pools_, quiet_, en_, &rng),
+            "[[pessoa 2]]");
+}
+
+TEST_F(ValueRenderTest, LinkDropNoiseEmitsBareAnchor) {
+  Fact fact;
+  fact.kind = ValueKind::kEntity;
+  fact.ref = 0;
+  RenderNoise noisy = quiet_;
+  noisy.p_link_drop = 1.0;
+  util::Rng rng(9);
+  EXPECT_EQ(RenderValue(fact, "en", pools_, noisy, en_, &rng), "person 0");
+}
+
+TEST_F(ValueRenderTest, AnchorVariantUsesAlias) {
+  Fact fact;
+  fact.kind = ValueKind::kPlace;
+  fact.ref = 0;
+  RenderNoise noisy = quiet_;
+  noisy.p_anchor_variant = 1.0;
+  util::Rng rng(11);
+  EXPECT_EQ(RenderValue(fact, "en", pools_, noisy, en_, &rng),
+            "[[northland|nl]]");
+}
+
+TEST_F(ValueRenderTest, SharedNameIsIdenticalAcrossLanguages) {
+  util::Rng rng(13);
+  Fact fact = DrawFact(ValueKind::kName, 0, 0, en_, &rng);
+  fact.name_shared = true;
+  std::string en = RenderValue(fact, "en", pools_, quiet_, en_, &rng);
+  std::string pt = RenderValue(fact, "pt", pools_, quiet_, en_, &rng);
+  EXPECT_EQ(en, pt);
+}
+
+TEST_F(ValueRenderTest, DurationUnitsLocalized) {
+  Fact fact;
+  fact.kind = ValueKind::kDuration;
+  fact.number = 160;
+  util::Rng rng(15);
+  EXPECT_EQ(RenderValue(fact, "en", pools_, quiet_, en_, &rng),
+            "160 minutes");
+  EXPECT_EQ(RenderValue(fact, "pt", pools_, quiet_, en_, &rng),
+            "160 minutos");
+  EXPECT_EQ(RenderValue(fact, "vi", pools_, quiet_, en_, &rng), "160 phút");
+}
+
+TEST(DrawFactTest, EntityListHasDistinctRefs) {
+  WordGenerator en(Morphology::kEnglish);
+  util::Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    Fact fact = DrawFact(ValueKind::kEntityList, 10, 30, en, &rng);
+    std::set<int> unique(fact.refs.begin(), fact.refs.end());
+    EXPECT_EQ(unique.size(), fact.refs.size());
+    for (int ref : fact.refs) {
+      EXPECT_GE(ref, 10);
+      EXPECT_LT(ref, 30);
+    }
+  }
+}
+
+TEST(MonthNameTest, Localized) {
+  EXPECT_EQ(MonthName(6, "en"), "june");
+  EXPECT_EQ(MonthName(6, "pt"), "junho");
+  EXPECT_EQ(MonthName(6, "vi"), "6");
+  EXPECT_EQ(MonthName(99, "en"), "december");  // Clamped.
+}
+
+// --------------------------------------------------------------- Generator
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusGenerator generator(GeneratorOptions::Tiny(21));
+    auto g = generator.Generate();
+    ASSERT_TRUE(g.ok());
+    gc_ = new GeneratedCorpus(std::move(g).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete gc_;
+    gc_ = nullptr;
+  }
+  static GeneratedCorpus* gc_;
+};
+
+GeneratedCorpus* GeneratorTest::gc_ = nullptr;
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  CorpusGenerator g1(GeneratorOptions::Tiny(33));
+  CorpusGenerator g2(GeneratorOptions::Tiny(33));
+  auto a = g1.Generate();
+  auto b = g2.Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->corpus.size(), b->corpus.size());
+  for (wiki::ArticleId id = 0; id < a->corpus.size(); ++id) {
+    EXPECT_EQ(a->corpus.Get(id).title, b->corpus.Get(id).title);
+    EXPECT_EQ(a->corpus.Get(id).language, b->corpus.Get(id).language);
+  }
+}
+
+TEST_F(GeneratorTest, DualEntitiesHaveLinkedArticles) {
+  size_t checked = 0;
+  for (const auto& rec : gc_->entities) {
+    if (rec.pair_lang.empty()) continue;
+    wiki::ArticleId local = gc_->corpus.FindByTitle(
+        rec.pair_lang, rec.titles.at(rec.pair_lang));
+    ASSERT_NE(local, wiki::kInvalidArticle);
+    wiki::ArticleId hub = gc_->corpus.CrossLanguageTarget(local, "en");
+    ASSERT_NE(hub, wiki::kInvalidArticle);
+    EXPECT_EQ(gc_->corpus.Get(hub).title, rec.titles.at("en"));
+    if (++checked >= 25) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(GeneratorTest, HubOnlyExtrasHaveNoPairLanguage) {
+  size_t hub_only = 0;
+  for (const auto& rec : gc_->entities) {
+    if (rec.pair_lang.empty()) {
+      ++hub_only;
+      EXPECT_EQ(rec.titles.size(), 1u);
+      EXPECT_TRUE(rec.titles.count("en"));
+    }
+  }
+  EXPECT_GT(hub_only, 0u);
+}
+
+TEST_F(GeneratorTest, GroundTruthCoversEveryInfoboxAttribute) {
+  // Every attribute name appearing in a film infobox must belong to some
+  // ground-truth cluster of the film type.
+  const eval::MatchSet& truth = gc_->ground_truth.at("film");
+  size_t checked = 0;
+  for (wiki::ArticleId id : gc_->corpus.ArticlesOfType("pt", "filme")) {
+    for (const auto& name : gc_->corpus.Get(id).infobox->Schema()) {
+      EXPECT_TRUE(truth.Contains({"pt", name})) << name;
+      ++checked;
+    }
+    if (checked > 60) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(GeneratorTest, TypeNameMapIsConsistent) {
+  ASSERT_TRUE(gc_->hub_type_of.count({"pt", "filme"}));
+  EXPECT_EQ(gc_->hub_type_of.at({"pt", "filme"}), "film");
+  EXPECT_EQ(gc_->hub_type_of.at({"en", "film"}), "film");
+  EXPECT_EQ(gc_->hub_type_of.at({"vi", "phim"}), "film");
+}
+
+TEST_F(GeneratorTest, FactsExistForEveryModelConcept) {
+  const TypeModel& model = gc_->models.at("film");
+  for (const auto& rec : gc_->entities) {
+    if (rec.type != "film") continue;
+    for (const auto& c : model.concepts) {
+      EXPECT_TRUE(rec.facts.count(c.id)) << c.id;
+    }
+    break;
+  }
+}
+
+TEST_F(GeneratorTest, SupportPoolsPopulated) {
+  EXPECT_GE(gc_->supports.entities.size(), 60u);
+  EXPECT_EQ(gc_->supports.places.size(), 12u);
+  EXPECT_EQ(gc_->supports.terms.size(), 16u);
+  EXPECT_EQ(gc_->supports.day_pages.size(), 336u);
+  EXPECT_EQ(gc_->supports.year_pages.size(),
+            static_cast<size_t>(SupportPools::kLastYear -
+                                SupportPools::kFirstYear + 1));
+}
+
+TEST_F(GeneratorTest, DayPageIndexing) {
+  const auto& pools = gc_->supports;
+  size_t idx = pools.DayPageIndex(12, 18);
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_EQ(pools.day_pages[idx].titles.at("en"), "december 18");
+  EXPECT_EQ(pools.day_pages[idx].titles.at("pt"), "18 de dezembro");
+  EXPECT_EQ(pools.DayPageIndex(13, 1), SIZE_MAX);
+  EXPECT_EQ(pools.YearPageIndex(1899), SIZE_MAX);
+}
+
+// ---------------------------------------------------------------- MtOracle
+
+TEST_F(GeneratorTest, MtOracleTranslatesEveryNonHubForm) {
+  auto oracle = MakeMtOracle(*gc_);
+  const TypeModel& model = gc_->models.at("film");
+  for (const auto& c : model.concepts) {
+    if (!c.forms.count("en") || c.forms.at("en").empty()) continue;
+    for (const auto& [lang, forms] : c.forms) {
+      if (lang == "en") continue;
+      for (const auto& form : forms) {
+        EXPECT_TRUE(
+            oracle.count({lang, text::NormalizeAttributeName(form)}))
+            << lang << ":" << form;
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, MtOracleConventionalRateControlsExactHits) {
+  MtOracleOptions always;
+  always.p_conventional = 1.0;
+  auto oracle = MakeMtOracle(*gc_, always);
+  const TypeModel& model = gc_->models.at("film");
+  for (const auto& c : model.concepts) {
+    auto en_it = c.forms.find("en");
+    auto pt_it = c.forms.find("pt");
+    if (en_it == c.forms.end() || pt_it == c.forms.end()) continue;
+    if (en_it->second.empty() || pt_it->second.empty()) continue;
+    std::string key = text::NormalizeAttributeName(pt_it->second[0]);
+    auto found = oracle.find({"pt", key});
+    // Forms shared between two concepts keep their first translation, so
+    // allow a miss only if the form maps elsewhere.
+    if (found != oracle.end()) {
+      EXPECT_EQ(found->second,
+                text::NormalizeAttributeName(en_it->second[0]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace wikimatch

@@ -1,0 +1,183 @@
+// Tests for the logistic-regression substrate and the Ziggurat-style
+// self-supervised baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ziggurat.h"
+#include "la/logistic.h"
+#include "match/pipeline.h"
+#include "synth/generator.h"
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace {
+
+// --------------------------------------------------------------- Logistic
+
+TEST(LogisticTest, LearnsLinearlySeparableData) {
+  // y = 1 iff x0 > x1.
+  util::Rng rng(3);
+  std::vector<la::LabeledExample> examples;
+  for (int i = 0; i < 400; ++i) {
+    double x0 = rng.NextDouble();
+    double x1 = rng.NextDouble();
+    examples.push_back({{x0, x1}, x0 > x1});
+  }
+  la::LogisticRegression model;
+  ASSERT_TRUE(model.Train(examples).ok());
+  EXPECT_GT(model.Predict({0.9, 0.1}), 0.9);
+  EXPECT_LT(model.Predict({0.1, 0.9}), 0.1);
+}
+
+TEST(LogisticTest, HandlesConstantFeature) {
+  util::Rng rng(5);
+  std::vector<la::LabeledExample> examples;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.NextDouble();
+    examples.push_back({{x, 1.0}, x > 0.5});  // Second feature constant.
+  }
+  la::LogisticRegression model;
+  ASSERT_TRUE(model.Train(examples).ok());
+  EXPECT_GT(model.Predict({0.95, 1.0}), 0.8);
+}
+
+TEST(LogisticTest, RejectsDegenerateInput) {
+  la::LogisticRegression model;
+  EXPECT_FALSE(model.Train({}).ok());
+  EXPECT_FALSE(model.Train({{{1.0}, true}}).ok());  // One class only.
+  EXPECT_FALSE(model.Train({{{1.0}, true}, {{1.0, 2.0}, false}}).ok());
+  EXPECT_FALSE(model.trained());
+  EXPECT_EQ(model.Predict({1.0}), 0.5);  // Untrained: uninformative.
+}
+
+TEST(LogisticTest, DeterministicTraining) {
+  util::Rng rng(7);
+  std::vector<la::LabeledExample> examples;
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.NextDouble();
+    examples.push_back({{x}, x > 0.4});
+  }
+  la::LogisticRegression a;
+  la::LogisticRegression b;
+  ASSERT_TRUE(a.Train(examples).ok());
+  ASSERT_TRUE(b.Train(examples).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(LogisticTest, PredictionsAreProbabilities) {
+  util::Rng rng(9);
+  std::vector<la::LabeledExample> examples;
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.NextGaussian();
+    examples.push_back({{x}, x > 0});
+  }
+  la::LogisticRegression model;
+  ASSERT_TRUE(model.Train(examples).ok());
+  for (double x = -5; x <= 5; x += 0.5) {
+    double p = model.Predict({x});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // Monotone in the informative feature.
+  EXPECT_LT(model.Predict({-2.0}), model.Predict({2.0}));
+}
+
+// --------------------------------------------------------------- Ziggurat
+
+class ZigguratTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny(88));
+    auto g = generator.Generate();
+    ASSERT_TRUE(g.ok());
+    gc_ = new synth::GeneratedCorpus(std::move(g).ValueOrDie());
+    pipeline_ = new match::MatchPipeline(&gc_->corpus);
+    match::SchemaBuilderOptions raw;
+    raw.translate_values = false;
+    auto film = pipeline_->BuildPair("pt", "filme", "en", "film", raw);
+    auto actor = pipeline_->BuildPair("pt", "ator", "en", "actor", raw);
+    ASSERT_TRUE(film.ok());
+    ASSERT_TRUE(actor.ok());
+    film_ = new match::TypePairData(std::move(film).ValueOrDie());
+    actor_ = new match::TypePairData(std::move(actor).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete film_;
+    delete actor_;
+    delete pipeline_;
+    delete gc_;
+    film_ = nullptr;
+    actor_ = nullptr;
+    pipeline_ = nullptr;
+    gc_ = nullptr;
+  }
+
+  static synth::GeneratedCorpus* gc_;
+  static match::MatchPipeline* pipeline_;
+  static match::TypePairData* film_;
+  static match::TypePairData* actor_;
+};
+
+synth::GeneratedCorpus* ZigguratTest::gc_ = nullptr;
+match::MatchPipeline* ZigguratTest::pipeline_ = nullptr;
+match::TypePairData* ZigguratTest::film_ = nullptr;
+match::TypePairData* ZigguratTest::actor_ = nullptr;
+
+TEST_F(ZigguratTest, FeatureVectorShapeAndRange) {
+  const auto& a = film_->groups.front();
+  const auto& b = film_->groups.back();
+  auto features = baselines::ZigguratMatcher::Features(*film_, a, b);
+  EXPECT_EQ(features.size(), 14u);
+  for (double f : features) EXPECT_TRUE(std::isfinite(f));
+  // Self-pair: name features saturate.
+  auto self_features = baselines::ZigguratMatcher::Features(*film_, a, a);
+  EXPECT_EQ(self_features[0], 1.0);  // trigram
+  EXPECT_EQ(self_features[5], 1.0);  // exact equality flag
+}
+
+TEST_F(ZigguratTest, TrainsAndHarvestsBothClasses) {
+  baselines::ZigguratMatcher matcher;
+  ASSERT_TRUE(matcher.Train({film_, actor_}).ok());
+  EXPECT_TRUE(matcher.trained());
+  EXPECT_GT(matcher.num_positives(), 0u);
+  EXPECT_GT(matcher.num_negatives(), 0u);
+}
+
+TEST_F(ZigguratTest, MatchRequiresTraining) {
+  baselines::ZigguratMatcher untrained;
+  EXPECT_FALSE(untrained.Match(*film_).ok());
+}
+
+TEST_F(ZigguratTest, FindsMajorityCorrectMatches) {
+  baselines::ZigguratMatcher matcher;
+  ASSERT_TRUE(matcher.Train({film_, actor_}).ok());
+  auto matches = matcher.Match(*film_);
+  ASSERT_TRUE(matches.ok());
+  const eval::MatchSet& truth = gc_->ground_truth.at("film");
+  size_t correct = 0;
+  size_t total = 0;
+  for (const auto& [a, b] : matches->CrossLanguagePairs("pt", "en")) {
+    ++total;
+    if (truth.AreMatched(a, b)) ++correct;
+  }
+  ASSERT_GT(total, 2u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.6);
+}
+
+TEST_F(ZigguratTest, ScoresAreProbabilities) {
+  baselines::ZigguratMatcher matcher;
+  ASSERT_TRUE(matcher.Train({film_}).ok());
+  for (const auto& a : film_->groups) {
+    for (const auto& b : film_->groups) {
+      if (a.key.language != "pt" || b.key.language != "en") continue;
+      double p = matcher.Score(*film_, a, b);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wikimatch

@@ -1,0 +1,44 @@
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include "match/aligner.h"
+#include "match/pipeline.h"
+#include "query/case_study.h"
+#include "query/evaluator.h"
+#include "synth/generator.h"
+
+using namespace wikimatch;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::string lang = argc > 2 ? argv[2] : "pt";
+  synth::CorpusGenerator gen(synth::GeneratorOptions::Paper(scale));
+  auto gc = gen.Generate();
+  match::MatchPipeline pipe(&gc->corpus);
+  auto pres = pipe.Run(lang, "en");
+  std::map<std::string, const eval::MatchSet*> am;
+  for (const auto& tr : pres->per_type) am.emplace(tr.type_b, &tr.alignment.matches);
+  query::QueryTranslator tr(lang, "en", pres->type_matches, am, &pipe.dictionary());
+  auto queries = query::BuildCaseQueries(*gc);
+  query::RelevanceOracle oracle(&*gc);
+  query::QueryEvaluator src_eval(&gc->corpus, lang), hub_eval(&gc->corpus, "en");
+  for (const auto& cq : queries) {
+    auto sq = query::RenderSurfaceQuery(cq, *gc, lang);
+    printf("Q[%s] %s\n", cq.type.c_str(), cq.description.c_str());
+    if (!sq.ok()) { printf("  not expressible in %s\n", lang.c_str()); continue; }
+    auto na = src_eval.Run(*sq);
+    double nrel = 0; size_t ncount = 0;
+    if (na.ok()) for (const auto& a : *na) { nrel += oracle.Judge(cq, lang, gc->corpus.Get(a.article).title); ncount++; }
+    query::TranslationReport rep;
+    auto tq = tr.Translate(*sq, &rep);
+    double trel = 0; size_t tcount = 0;
+    if (tq.ok()) {
+      auto ta = hub_eval.Run(*tq);
+      if (ta.ok()) for (const auto& a : *ta) { trel += oracle.Judge(cq, "en", gc->corpus.Get(a.article).title); tcount++; }
+    }
+    printf("  native: %zu answers rel=%.0f | translated: %zu answers rel=%.0f (relaxed %zu) %s\n",
+           ncount, nrel, tcount, trel, rep.constraints_relaxed,
+           tq.ok() ? tq->ToString().c_str() : "UNTRANSLATABLE");
+  }
+  return 0;
+}

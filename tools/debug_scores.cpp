@@ -1,0 +1,53 @@
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include "match/pipeline.h"
+#include "match/lsi.h"
+#include "synth/generator.h"
+#include "eval/metrics.h"
+
+using namespace wikimatch;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  std::string type_a = argc > 2 ? argv[2] : "filme";
+  std::string type_b = argc > 3 ? argv[3] : "film";
+  std::string focus = argc > 4 ? argv[4] : "";
+  synth::CorpusGenerator gen(synth::GeneratorOptions::Paper(scale));
+  auto g = gen.Generate();
+  if (!g.ok()) { fprintf(stderr, "%s\n", g.status().ToString().c_str()); return 1; }
+  match::MatchPipeline pipe(&g->corpus);
+  auto data = pipe.BuildPair("pt", type_a, "en", type_b);
+  if (!data.ok()) { fprintf(stderr, "%s\n", data.status().ToString().c_str()); return 1; }
+  match::AttributeAligner aligner;
+  auto res = aligner.Align(*data);
+  printf("groups=%zu duals=%zu\n", data->groups.size(), data->num_duals);
+  const auto& truth = g->ground_truth.at(g->hub_type_of.at({"en", type_b}));
+  {
+    auto freqs = data->Frequencies();
+    auto prf = eval::WeightedPrf(res->matches, truth, freqs, "pt", "en");
+    printf("weighted P=%.3f R=%.3f F=%.3f\n", prf.precision, prf.recall, prf.f1);
+    for (const auto& [a, b] : res->matches.CrossLanguagePairs("pt", "en")) {
+      if (!truth.AreMatched(a, b))
+        printf("WRONG PAIR: %s:%s ~ %s:%s\n", a.language.c_str(), a.name.c_str(),
+               b.language.c_str(), b.name.c_str());
+    }
+  }
+  int shown = 0;
+  for (const auto& p : res->all_pairs) {
+    const auto& ka = data->groups[p.i].key;
+    const auto& kb = data->groups[p.j].key;
+    if (!focus.empty() && ka.name.find(focus) == std::string::npos &&
+        kb.name.find(focus) == std::string::npos) continue;
+    if (focus.empty() && shown > 60) break;
+    bool gt = truth.AreMatched(ka, kb);
+    bool derived = res->matches.AreMatched(ka, kb);
+    printf("%-4s %-4s lsi=%.3f v=%.3f l=%.3f [%s:%s | %s:%s] occ=%.0f/%.0f\n",
+           gt ? "GT" : "", derived ? "OUT" : "",
+           p.lsi, p.vsim, p.lsim,
+           ka.language.c_str(), ka.name.c_str(), kb.language.c_str(), kb.name.c_str(),
+           data->groups[p.i].occurrences, data->groups[p.j].occurrences);
+    shown++;
+  }
+  return 0;
+}
