@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/bench_ext_flooding.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/bench_ext_flooding.dir/bench_common.cc.o.d"
+  "/root/repo/bench/bench_ext_flooding.cc" "bench/CMakeFiles/bench_ext_flooding.dir/bench_ext_flooding.cc.o" "gcc" "bench/CMakeFiles/bench_ext_flooding.dir/bench_ext_flooding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/wikimatch_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wikimatch_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/wikimatch_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/wikimatch_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/wikimatch_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiki/CMakeFiles/wikimatch_wiki.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wikimatch_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wikimatch_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wikimatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

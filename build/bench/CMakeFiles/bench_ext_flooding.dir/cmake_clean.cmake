@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_flooding.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ext_flooding.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_ext_flooding.dir/bench_ext_flooding.cc.o"
+  "CMakeFiles/bench_ext_flooding.dir/bench_ext_flooding.cc.o.d"
+  "bench_ext_flooding"
+  "bench_ext_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_intralang.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ext_intralang.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_ext_intralang.dir/bench_ext_intralang.cc.o"
+  "CMakeFiles/bench_ext_intralang.dir/bench_ext_intralang.cc.o.d"
+  "bench_ext_intralang"
+  "bench_ext_intralang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_intralang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

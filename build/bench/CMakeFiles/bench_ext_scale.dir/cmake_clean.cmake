@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_scale.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ext_scale.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_ext_scale.dir/bench_ext_scale.cc.o"
+  "CMakeFiles/bench_ext_scale.dir/bench_ext_scale.cc.o.d"
+  "bench_ext_scale"
+  "bench_ext_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

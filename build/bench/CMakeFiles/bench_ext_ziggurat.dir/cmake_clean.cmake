@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ziggurat.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ext_ziggurat.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_ext_ziggurat.dir/bench_ext_ziggurat.cc.o"
+  "CMakeFiles/bench_ext_ziggurat.dir/bench_ext_ziggurat.cc.o.d"
+  "bench_ext_ziggurat"
+  "bench_ext_ziggurat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ziggurat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_thresholds.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig5_thresholds.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig5_thresholds.dir/bench_fig5_thresholds.cc.o"
+  "CMakeFiles/bench_fig5_thresholds.dir/bench_fig5_thresholds.cc.o.d"
+  "bench_fig5_thresholds"
+  "bench_fig5_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lsi_topk.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6_lsi_topk.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6_lsi_topk.dir/bench_fig6_lsi_topk.cc.o"
+  "CMakeFiles/bench_fig6_lsi_topk.dir/bench_fig6_lsi_topk.cc.o.d"
+  "bench_fig6_lsi_topk"
+  "bench_fig6_lsi_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lsi_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_coma_configs.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig7_coma_configs.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig7_coma_configs.dir/bench_fig7_coma_configs.cc.o"
+  "CMakeFiles/bench_fig7_coma_configs.dir/bench_fig7_coma_configs.cc.o.d"
+  "bench_fig7_coma_configs"
+  "bench_fig7_coma_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_coma_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

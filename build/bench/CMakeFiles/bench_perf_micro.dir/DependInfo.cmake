@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_micro.cc" "bench/CMakeFiles/bench_perf_micro.dir/bench_perf_micro.cc.o" "gcc" "bench/CMakeFiles/bench_perf_micro.dir/bench_perf_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/wikimatch_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/wikimatch_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/wikimatch_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiki/CMakeFiles/wikimatch_wiki.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wikimatch_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wikimatch_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wikimatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_alignments.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table1_alignments.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table1_alignments.dir/bench_table1_alignments.cc.o"
+  "CMakeFiles/bench_table1_alignments.dir/bench_table1_alignments.cc.o.d"
+  "bench_table1_alignments"
+  "bench_table1_alignments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_alignments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ablations.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table3_ablations.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table3_ablations.dir/bench_table3_ablations.cc.o"
+  "CMakeFiles/bench_table3_ablations.dir/bench_table3_ablations.cc.o.d"
+  "bench_table3_ablations"
+  "bench_table3_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

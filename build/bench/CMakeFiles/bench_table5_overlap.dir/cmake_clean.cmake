@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_overlap.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table5_overlap.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table5_overlap.dir/bench_table5_overlap.cc.o"
+  "CMakeFiles/bench_table5_overlap.dir/bench_table5_overlap.cc.o.d"
+  "bench_table5_overlap"
+  "bench_table5_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_macro.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table6_macro.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table6_macro.dir/bench_table6_macro.cc.o"
+  "CMakeFiles/bench_table6_macro.dir/bench_table6_macro.cc.o.d"
+  "bench_table6_macro"
+  "bench_table6_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_map.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table7_map.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table7_map.dir/bench_table7_map.cc.o"
+  "CMakeFiles/bench_table7_map.dir/bench_table7_map.cc.o.d"
+  "bench_table7_map"
+  "bench_table7_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_ingest.dir/dump_ingest.cpp.o"
+  "CMakeFiles/dump_ingest.dir/dump_ingest.cpp.o.d"
+  "dump_ingest"
+  "dump_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/film_alignment.dir/film_alignment.cpp.o"
+  "CMakeFiles/film_alignment.dir/film_alignment.cpp.o.d"
+  "film_alignment"
+  "film_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/film_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilingual_query.dir/multilingual_query.cpp.o"
+  "CMakeFiles/multilingual_query.dir/multilingual_query.cpp.o.d"
+  "multilingual_query"
+  "multilingual_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilingual_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

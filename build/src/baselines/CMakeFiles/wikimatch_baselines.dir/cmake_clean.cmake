@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_baselines.dir/bouma_matcher.cc.o"
+  "CMakeFiles/wikimatch_baselines.dir/bouma_matcher.cc.o.d"
+  "CMakeFiles/wikimatch_baselines.dir/coma_matcher.cc.o"
+  "CMakeFiles/wikimatch_baselines.dir/coma_matcher.cc.o.d"
+  "CMakeFiles/wikimatch_baselines.dir/correlation_measures.cc.o"
+  "CMakeFiles/wikimatch_baselines.dir/correlation_measures.cc.o.d"
+  "CMakeFiles/wikimatch_baselines.dir/lsi_matcher.cc.o"
+  "CMakeFiles/wikimatch_baselines.dir/lsi_matcher.cc.o.d"
+  "CMakeFiles/wikimatch_baselines.dir/ziggurat.cc.o"
+  "CMakeFiles/wikimatch_baselines.dir/ziggurat.cc.o.d"
+  "libwikimatch_baselines.a"
+  "libwikimatch_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

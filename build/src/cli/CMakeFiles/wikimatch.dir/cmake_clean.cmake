@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch.dir/wikimatch_main.cc.o"
+  "CMakeFiles/wikimatch.dir/wikimatch_main.cc.o.d"
+  "wikimatch"
+  "wikimatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

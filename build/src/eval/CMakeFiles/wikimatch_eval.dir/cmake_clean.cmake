@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_eval.dir/match_set.cc.o"
+  "CMakeFiles/wikimatch_eval.dir/match_set.cc.o.d"
+  "CMakeFiles/wikimatch_eval.dir/metrics.cc.o"
+  "CMakeFiles/wikimatch_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/wikimatch_eval.dir/table.cc.o"
+  "CMakeFiles/wikimatch_eval.dir/table.cc.o.d"
+  "libwikimatch_eval.a"
+  "libwikimatch_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwikimatch_eval.a"
+)

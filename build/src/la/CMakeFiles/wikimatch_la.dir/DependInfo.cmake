@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/logistic.cc" "src/la/CMakeFiles/wikimatch_la.dir/logistic.cc.o" "gcc" "src/la/CMakeFiles/wikimatch_la.dir/logistic.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/la/CMakeFiles/wikimatch_la.dir/matrix.cc.o" "gcc" "src/la/CMakeFiles/wikimatch_la.dir/matrix.cc.o.d"
+  "/root/repo/src/la/sparse_vector.cc" "src/la/CMakeFiles/wikimatch_la.dir/sparse_vector.cc.o" "gcc" "src/la/CMakeFiles/wikimatch_la.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/la/svd.cc" "src/la/CMakeFiles/wikimatch_la.dir/svd.cc.o" "gcc" "src/la/CMakeFiles/wikimatch_la.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wikimatch_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

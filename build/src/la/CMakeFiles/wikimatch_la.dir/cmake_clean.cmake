@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_la.dir/logistic.cc.o"
+  "CMakeFiles/wikimatch_la.dir/logistic.cc.o.d"
+  "CMakeFiles/wikimatch_la.dir/matrix.cc.o"
+  "CMakeFiles/wikimatch_la.dir/matrix.cc.o.d"
+  "CMakeFiles/wikimatch_la.dir/sparse_vector.cc.o"
+  "CMakeFiles/wikimatch_la.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/wikimatch_la.dir/svd.cc.o"
+  "CMakeFiles/wikimatch_la.dir/svd.cc.o.d"
+  "libwikimatch_la.a"
+  "libwikimatch_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/aligner.cc" "src/match/CMakeFiles/wikimatch_match.dir/aligner.cc.o" "gcc" "src/match/CMakeFiles/wikimatch_match.dir/aligner.cc.o.d"
+  "/root/repo/src/match/dictionary.cc" "src/match/CMakeFiles/wikimatch_match.dir/dictionary.cc.o" "gcc" "src/match/CMakeFiles/wikimatch_match.dir/dictionary.cc.o.d"
+  "/root/repo/src/match/lsi.cc" "src/match/CMakeFiles/wikimatch_match.dir/lsi.cc.o" "gcc" "src/match/CMakeFiles/wikimatch_match.dir/lsi.cc.o.d"
+  "/root/repo/src/match/match_io.cc" "src/match/CMakeFiles/wikimatch_match.dir/match_io.cc.o" "gcc" "src/match/CMakeFiles/wikimatch_match.dir/match_io.cc.o.d"
+  "/root/repo/src/match/pipeline.cc" "src/match/CMakeFiles/wikimatch_match.dir/pipeline.cc.o" "gcc" "src/match/CMakeFiles/wikimatch_match.dir/pipeline.cc.o.d"
+  "/root/repo/src/match/schema_builder.cc" "src/match/CMakeFiles/wikimatch_match.dir/schema_builder.cc.o" "gcc" "src/match/CMakeFiles/wikimatch_match.dir/schema_builder.cc.o.d"
+  "/root/repo/src/match/similarity_flooding.cc" "src/match/CMakeFiles/wikimatch_match.dir/similarity_flooding.cc.o" "gcc" "src/match/CMakeFiles/wikimatch_match.dir/similarity_flooding.cc.o.d"
+  "/root/repo/src/match/type_matcher.cc" "src/match/CMakeFiles/wikimatch_match.dir/type_matcher.cc.o" "gcc" "src/match/CMakeFiles/wikimatch_match.dir/type_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wikimatch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wikimatch_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/wikimatch_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiki/CMakeFiles/wikimatch_wiki.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/wikimatch_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

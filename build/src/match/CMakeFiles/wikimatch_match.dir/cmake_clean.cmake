@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_match.dir/aligner.cc.o"
+  "CMakeFiles/wikimatch_match.dir/aligner.cc.o.d"
+  "CMakeFiles/wikimatch_match.dir/dictionary.cc.o"
+  "CMakeFiles/wikimatch_match.dir/dictionary.cc.o.d"
+  "CMakeFiles/wikimatch_match.dir/lsi.cc.o"
+  "CMakeFiles/wikimatch_match.dir/lsi.cc.o.d"
+  "CMakeFiles/wikimatch_match.dir/match_io.cc.o"
+  "CMakeFiles/wikimatch_match.dir/match_io.cc.o.d"
+  "CMakeFiles/wikimatch_match.dir/pipeline.cc.o"
+  "CMakeFiles/wikimatch_match.dir/pipeline.cc.o.d"
+  "CMakeFiles/wikimatch_match.dir/schema_builder.cc.o"
+  "CMakeFiles/wikimatch_match.dir/schema_builder.cc.o.d"
+  "CMakeFiles/wikimatch_match.dir/similarity_flooding.cc.o"
+  "CMakeFiles/wikimatch_match.dir/similarity_flooding.cc.o.d"
+  "CMakeFiles/wikimatch_match.dir/type_matcher.cc.o"
+  "CMakeFiles/wikimatch_match.dir/type_matcher.cc.o.d"
+  "libwikimatch_match.a"
+  "libwikimatch_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

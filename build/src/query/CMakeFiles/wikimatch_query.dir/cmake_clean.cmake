@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_query.dir/c_query.cc.o"
+  "CMakeFiles/wikimatch_query.dir/c_query.cc.o.d"
+  "CMakeFiles/wikimatch_query.dir/case_study.cc.o"
+  "CMakeFiles/wikimatch_query.dir/case_study.cc.o.d"
+  "CMakeFiles/wikimatch_query.dir/evaluator.cc.o"
+  "CMakeFiles/wikimatch_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/wikimatch_query.dir/translator.cc.o"
+  "CMakeFiles/wikimatch_query.dir/translator.cc.o.d"
+  "libwikimatch_query.a"
+  "libwikimatch_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/concept_model.cc" "src/synth/CMakeFiles/wikimatch_synth.dir/concept_model.cc.o" "gcc" "src/synth/CMakeFiles/wikimatch_synth.dir/concept_model.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/wikimatch_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/wikimatch_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/lexicon.cc" "src/synth/CMakeFiles/wikimatch_synth.dir/lexicon.cc.o" "gcc" "src/synth/CMakeFiles/wikimatch_synth.dir/lexicon.cc.o.d"
+  "/root/repo/src/synth/mt_oracle.cc" "src/synth/CMakeFiles/wikimatch_synth.dir/mt_oracle.cc.o" "gcc" "src/synth/CMakeFiles/wikimatch_synth.dir/mt_oracle.cc.o.d"
+  "/root/repo/src/synth/value_render.cc" "src/synth/CMakeFiles/wikimatch_synth.dir/value_render.cc.o" "gcc" "src/synth/CMakeFiles/wikimatch_synth.dir/value_render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wikimatch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wikimatch_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiki/CMakeFiles/wikimatch_wiki.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/wikimatch_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_synth.dir/concept_model.cc.o"
+  "CMakeFiles/wikimatch_synth.dir/concept_model.cc.o.d"
+  "CMakeFiles/wikimatch_synth.dir/generator.cc.o"
+  "CMakeFiles/wikimatch_synth.dir/generator.cc.o.d"
+  "CMakeFiles/wikimatch_synth.dir/lexicon.cc.o"
+  "CMakeFiles/wikimatch_synth.dir/lexicon.cc.o.d"
+  "CMakeFiles/wikimatch_synth.dir/mt_oracle.cc.o"
+  "CMakeFiles/wikimatch_synth.dir/mt_oracle.cc.o.d"
+  "CMakeFiles/wikimatch_synth.dir/value_render.cc.o"
+  "CMakeFiles/wikimatch_synth.dir/value_render.cc.o.d"
+  "libwikimatch_synth.a"
+  "libwikimatch_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

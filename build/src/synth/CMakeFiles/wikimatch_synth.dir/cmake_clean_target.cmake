@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwikimatch_synth.a"
+)

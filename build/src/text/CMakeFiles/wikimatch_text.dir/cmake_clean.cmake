@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_text.dir/normalize.cc.o"
+  "CMakeFiles/wikimatch_text.dir/normalize.cc.o.d"
+  "CMakeFiles/wikimatch_text.dir/string_similarity.cc.o"
+  "CMakeFiles/wikimatch_text.dir/string_similarity.cc.o.d"
+  "CMakeFiles/wikimatch_text.dir/tokenizer.cc.o"
+  "CMakeFiles/wikimatch_text.dir/tokenizer.cc.o.d"
+  "libwikimatch_text.a"
+  "libwikimatch_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_util.dir/logging.cc.o"
+  "CMakeFiles/wikimatch_util.dir/logging.cc.o.d"
+  "CMakeFiles/wikimatch_util.dir/rng.cc.o"
+  "CMakeFiles/wikimatch_util.dir/rng.cc.o.d"
+  "CMakeFiles/wikimatch_util.dir/status.cc.o"
+  "CMakeFiles/wikimatch_util.dir/status.cc.o.d"
+  "CMakeFiles/wikimatch_util.dir/string_util.cc.o"
+  "CMakeFiles/wikimatch_util.dir/string_util.cc.o.d"
+  "CMakeFiles/wikimatch_util.dir/utf8.cc.o"
+  "CMakeFiles/wikimatch_util.dir/utf8.cc.o.d"
+  "libwikimatch_util.a"
+  "libwikimatch_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wiki/article.cc" "src/wiki/CMakeFiles/wikimatch_wiki.dir/article.cc.o" "gcc" "src/wiki/CMakeFiles/wikimatch_wiki.dir/article.cc.o.d"
+  "/root/repo/src/wiki/corpus.cc" "src/wiki/CMakeFiles/wikimatch_wiki.dir/corpus.cc.o" "gcc" "src/wiki/CMakeFiles/wikimatch_wiki.dir/corpus.cc.o.d"
+  "/root/repo/src/wiki/dump_reader.cc" "src/wiki/CMakeFiles/wikimatch_wiki.dir/dump_reader.cc.o" "gcc" "src/wiki/CMakeFiles/wikimatch_wiki.dir/dump_reader.cc.o.d"
+  "/root/repo/src/wiki/wikitext_parser.cc" "src/wiki/CMakeFiles/wikimatch_wiki.dir/wikitext_parser.cc.o" "gcc" "src/wiki/CMakeFiles/wikimatch_wiki.dir/wikitext_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wikimatch_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/wikimatch_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

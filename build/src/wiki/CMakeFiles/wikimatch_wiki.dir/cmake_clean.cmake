@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikimatch_wiki.dir/article.cc.o"
+  "CMakeFiles/wikimatch_wiki.dir/article.cc.o.d"
+  "CMakeFiles/wikimatch_wiki.dir/corpus.cc.o"
+  "CMakeFiles/wikimatch_wiki.dir/corpus.cc.o.d"
+  "CMakeFiles/wikimatch_wiki.dir/dump_reader.cc.o"
+  "CMakeFiles/wikimatch_wiki.dir/dump_reader.cc.o.d"
+  "CMakeFiles/wikimatch_wiki.dir/wikitext_parser.cc.o"
+  "CMakeFiles/wikimatch_wiki.dir/wikitext_parser.cc.o.d"
+  "libwikimatch_wiki.a"
+  "libwikimatch_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikimatch_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wikimatch_wiki.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_io_test.dir/match_io_test.cc.o"
+  "CMakeFiles/match_io_test.dir/match_io_test.cc.o.d"
+  "match_io_test"
+  "match_io_test.pdb"
+  "match_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

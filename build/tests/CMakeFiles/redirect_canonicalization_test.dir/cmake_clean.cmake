@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redirect_canonicalization_test.dir/redirect_canonicalization_test.cc.o"
+  "CMakeFiles/redirect_canonicalization_test.dir/redirect_canonicalization_test.cc.o.d"
+  "redirect_canonicalization_test"
+  "redirect_canonicalization_test.pdb"
+  "redirect_canonicalization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redirect_canonicalization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ziggurat_test.dir/ziggurat_test.cc.o"
+  "CMakeFiles/ziggurat_test.dir/ziggurat_test.cc.o.d"
+  "ziggurat_test"
+  "ziggurat_test.pdb"
+  "ziggurat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ziggurat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

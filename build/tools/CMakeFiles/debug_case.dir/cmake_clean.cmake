@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_case.dir/debug_case.cpp.o"
+  "CMakeFiles/debug_case.dir/debug_case.cpp.o.d"
+  "debug_case"
+  "debug_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

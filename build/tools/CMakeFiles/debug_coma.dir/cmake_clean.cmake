@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_coma.dir/debug_coma.cpp.o"
+  "CMakeFiles/debug_coma.dir/debug_coma.cpp.o.d"
+  "debug_coma"
+  "debug_coma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_coma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

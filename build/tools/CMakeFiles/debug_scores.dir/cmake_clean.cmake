@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_scores.dir/debug_scores.cpp.o"
+  "CMakeFiles/debug_scores.dir/debug_scores.cpp.o.d"
+  "debug_scores"
+  "debug_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
