@@ -14,10 +14,21 @@
 //
 //   wikimatch demo [scale]
 //     Self-contained demonstration on a generated corpus.
+//
+//   wikimatch build-snapshot --dump ... --pair pt:en [--pair vi:en]
+//       --out matches.snap [--threads n]
+//     Runs the full pipeline for every --pair and persists corpus,
+//     dictionary, and alignments as a binary snapshot (--synth <scale>
+//     substitutes a generated corpus for the dumps).
+//
+//   wikimatch serve --snapshot matches.snap [--cache-capacity n]
+//     Answers lookup/query requests over stdin/stdout from a snapshot,
+//     without re-running the matcher (protocol: docs/SERVING.md).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -28,8 +39,12 @@
 #include "query/c_query.h"
 #include "query/evaluator.h"
 #include "query/translator.h"
+#include "serve/match_service.h"
+#include "serve/protocol.h"
+#include "store/snapshot.h"
 #include "synth/generator.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "wiki/corpus.h"
 #include "wiki/dump_reader.h"
 #include "wiki/wikitext_parser.h"
@@ -43,28 +58,43 @@ struct Args {
   std::vector<std::pair<std::string, std::string>> dumps;  // lang, path
   std::string pair_a;
   std::string pair_b;
+  std::vector<std::pair<std::string, std::string>> pairs;  // every --pair
   std::string lang;
   std::string query_text;
   std::string tsv_path;
   std::string save_path;
   std::string matches_path;
+  std::string out_path;
+  std::string snapshot_path;
   double t_sim = 0.6;
   double t_lsi = 0.1;
   double scale = 0.1;
+  double synth_scale = 0.0;  // build-snapshot: > 0 uses a generated corpus
+  size_t num_threads = 0;    // 0 = command-specific default
+  size_t cache_capacity = 4096;
   bool translate = false;
 };
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: wikimatch <match|types|query|demo> [options]\n"
+               "usage: wikimatch <match|types|query|demo|build-snapshot|"
+               "serve> [options]\n"
                "  --dump <lang>=<path>   add a MediaWiki XML dump (repeat)\n"
-               "  --pair <a>:<b>         language pair, e.g. pt:en\n"
+               "  --pair <a>:<b>         language pair, e.g. pt:en "
+               "(repeatable for build-snapshot)\n"
                "  --lang <code>          query language\n"
                "  --translate            translate the query across --pair\n"
                "  --tsim / --tlsi <v>    WikiMatch thresholds\n"
+               "  --threads <n>          worker threads for per-type "
+               "alignment\n"
                "  --tsv <path>           write matches as TSV\n"
                "  --save-matches <path>  persist match clusters (match)\n"
-               "  --matches <path>       reuse persisted clusters (query)\n");
+               "  --matches <path>       reuse persisted clusters (query)\n"
+               "  --out <path>           snapshot output (build-snapshot)\n"
+               "  --synth <scale>        build-snapshot from a generated "
+               "corpus instead of dumps\n"
+               "  --snapshot <path>      snapshot to serve (serve)\n"
+               "  --cache-capacity <n>   LRU result-cache entries (serve)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -86,8 +116,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (v == nullptr) return false;
       const char* colon = std::strchr(v, ':');
       if (colon == nullptr) return false;
-      args->pair_a = std::string(v, colon);
-      args->pair_b = colon + 1;
+      args->pairs.emplace_back(std::string(v, colon), colon + 1);
+      if (args->pair_a.empty()) {
+        args->pair_a = args->pairs.back().first;
+        args->pair_b = args->pairs.back().second;
+      }
     } else if (arg == "--lang") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -104,6 +137,26 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->matches_path = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out_path = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->snapshot_path = v;
+    } else if (arg == "--synth") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->synth_scale = std::atof(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->num_threads = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--cache-capacity") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->cache_capacity = static_cast<size_t>(std::atol(v));
     } else if (arg == "--tsim") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -158,6 +211,7 @@ int RunMatch(const Args& args, bool types_only) {
   match::PipelineOptions options;
   options.matcher.t_sim = args.t_sim;
   options.matcher.t_lsi = args.t_lsi;
+  if (args.num_threads > 0) options.num_threads = args.num_threads;
   auto result = pipeline.Run(args.pair_a, args.pair_b, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -253,7 +307,9 @@ int RunQuery(const Args& args) {
       match::TypeMatcher type_matcher;
       type_matches = type_matcher.Match(*corpus, args.pair_a, args.pair_b);
     } else {
-      auto result = pipeline.Run(args.pair_a, args.pair_b);
+      match::PipelineOptions options;
+      if (args.num_threads > 0) options.num_threads = args.num_threads;
+      auto result = pipeline.Run(args.pair_a, args.pair_b, options);
       if (!result.ok()) {
         std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
         return 1;
@@ -302,6 +358,102 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+int RunBuildSnapshot(const Args& args) {
+  if (args.out_path.empty() || args.pairs.empty() ||
+      (args.dumps.empty() && args.synth_scale <= 0.0)) {
+    Usage();
+    return 2;
+  }
+  wiki::Corpus corpus;
+  if (args.synth_scale > 0.0) {
+    std::fprintf(stderr, "generating synthetic corpus (scale %.2f)...\n",
+                 args.synth_scale);
+    synth::CorpusGenerator generator(
+        synth::GeneratorOptions::Paper(args.synth_scale));
+    auto gc = generator.Generate();
+    if (!gc.ok()) {
+      std::fprintf(stderr, "%s\n", gc.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(gc->corpus);
+  } else {
+    auto loaded = LoadCorpus(args);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(loaded).ValueOrDie();
+  }
+
+  match::MatchPipeline pipeline(&corpus);
+  match::PipelineOptions options;
+  options.matcher.t_sim = args.t_sim;
+  options.matcher.t_lsi = args.t_lsi;
+  // Offline builds default to every core; alignment output order stays
+  // deterministic regardless (see PipelineOptions::num_threads).
+  options.num_threads =
+      args.num_threads > 0 ? args.num_threads : util::DefaultThreads();
+
+  auto writer = store::SnapshotWriter::Open(args.out_path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+    return 1;
+  }
+  auto status = writer->WriteCorpus(corpus);
+  if (status.ok()) status = writer->WriteDictionary(pipeline.dictionary());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  for (const auto& [lang_a, lang_b] : args.pairs) {
+    auto result = pipeline.Run(lang_a, lang_b, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "pair %s:%s: %s\n", lang_a.c_str(),
+                   lang_b.c_str(), result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pair %s:%s: %zu type matches, %zu aligned types\n",
+                 lang_a.c_str(), lang_b.c_str(),
+                 result->type_matches.size(), result->per_type.size());
+    status = writer->WritePipeline(lang_a, lang_b, *result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  status = writer->Finish();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote snapshot %s (%zu articles, %zu dictionary "
+               "entries, %zu pairs)\n",
+               args.out_path.c_str(), static_cast<size_t>(corpus.size()),
+               pipeline.dictionary().size(), args.pairs.size());
+  return 0;
+}
+
+int RunServe(const Args& args) {
+  if (args.snapshot_path.empty()) {
+    Usage();
+    return 2;
+  }
+  serve::ServiceOptions options;
+  options.cache_capacity = args.cache_capacity;
+  auto service = serve::MatchService::Load(args.snapshot_path, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving %s (%zu articles); one request per line, "
+               "'help' for the protocol, 'quit' or EOF to stop\n",
+               args.snapshot_path.c_str(),
+               static_cast<size_t>((*service)->corpus().size()));
+  size_t served = serve::ServeLoop(std::cin, std::cout, service->get());
+  std::fprintf(stderr, "served %zu requests\n", served);
+  return 0;
+}
+
 int RunDemo(const Args& args) {
   std::printf("Generating demo corpus (scale %.2f)...\n", args.scale);
   synth::CorpusGenerator generator(
@@ -346,6 +498,8 @@ int main(int argc, char** argv) {
   if (args.command == "types") return RunMatch(args, true);
   if (args.command == "query") return RunQuery(args);
   if (args.command == "demo") return RunDemo(args);
+  if (args.command == "build-snapshot") return RunBuildSnapshot(args);
+  if (args.command == "serve") return RunServe(args);
   Usage();
   return 2;
 }

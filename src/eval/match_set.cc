@@ -8,7 +8,9 @@ AttrKey MatchSet::Find(const AttrKey& a) const {
   if (it == parent_.end()) return a;
   if (it->second == a) return a;
   AttrKey root = Find(it->second);
-  parent_[a] = root;  // Path compression.
+  // Path compression; skip the no-op write so a fully compressed set (see
+  // CompressPaths) can be read from several threads at once.
+  if (!(it->second == root)) it->second = root;
   return root;
 }
 
@@ -150,6 +152,20 @@ std::set<AttrKey> MatchSet::CorrespondentsOf(
     if (member.language == other_lang && !(member == a)) out.insert(member);
   }
   return out;
+}
+
+std::vector<std::pair<AttrKey, AttrKey>> MatchSet::DirectPairs() const {
+  std::vector<std::pair<AttrKey, AttrKey>> out;
+  for (const auto& [a, partners] : pairs_) {
+    for (const auto& b : partners) {
+      if (a < b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+void MatchSet::CompressPaths() const {
+  for (const auto& [key, p] : parent_) Find(key);
 }
 
 size_t MatchSet::NumClusters() const { return Clusters().size(); }

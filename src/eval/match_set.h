@@ -74,6 +74,16 @@ class MatchSet {
   std::set<AttrKey> CorrespondentsOf(const AttrKey& a,
                                      const std::string& other_lang) const;
 
+  /// \brief Pairwise mode: every stored pair exactly once (smaller key
+  /// first), in deterministic order. Empty in transitive mode — serialize
+  /// transitive sets through Clusters() instead.
+  std::vector<std::pair<AttrKey, AttrKey>> DirectPairs() const;
+
+  /// \brief Fully path-compresses the union-find so that later const
+  /// lookups (Find depth 1) perform no writes to the mutable parent map.
+  /// Call once before sharing a MatchSet across reader threads.
+  void CompressPaths() const;
+
   size_t NumClusters() const;
   bool empty() const { return parent_.empty() && pairs_.empty(); }
   bool transitive() const { return transitive_; }

@@ -1,0 +1,44 @@
+// Binary serialization of match output for the snapshot store: the
+// translation dictionary, MatchSets, and full PipelineResults (type
+// matches, per-type alignments with their scored candidate orders, and
+// attribute frequencies). Together with wiki/serialize.h this is everything
+// a serving process needs to answer lookups and translated queries without
+// re-running the matcher.
+
+#ifndef WIKIMATCH_MATCH_SERIALIZE_H_
+#define WIKIMATCH_MATCH_SERIALIZE_H_
+
+#include "eval/metrics.h"
+#include "match/dictionary.h"
+#include "match/pipeline.h"
+#include "util/binary_io.h"
+#include "util/result.h"
+
+namespace wikimatch {
+namespace match {
+
+void EncodeDictionary(const TranslationDictionary& dictionary,
+                      util::BinaryWriter* writer);
+util::Result<TranslationDictionary> DecodeDictionary(
+    util::BinaryReader* reader);
+
+/// Transitive sets travel as clusters, pairwise sets as their exact pairs —
+/// both modes round-trip without fabricating correspondences.
+void EncodeMatchSet(const eval::MatchSet& matches,
+                    util::BinaryWriter* writer);
+util::Result<eval::MatchSet> DecodeMatchSet(util::BinaryReader* reader);
+
+void EncodeAlignmentResult(const AlignmentResult& alignment,
+                           util::BinaryWriter* writer);
+util::Result<AlignmentResult> DecodeAlignmentResult(
+    util::BinaryReader* reader);
+
+void EncodePipelineResult(const PipelineResult& result,
+                          util::BinaryWriter* writer);
+util::Result<PipelineResult> DecodePipelineResult(
+    util::BinaryReader* reader);
+
+}  // namespace match
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_MATCH_SERIALIZE_H_

@@ -1,0 +1,80 @@
+#include "serve/lru_cache.h"
+
+#include <functional>
+
+namespace wikimatch {
+namespace serve {
+
+ShardedLruCache::ShardedLruCache(size_t capacity, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  if (num_shards > capacity && capacity > 0) num_shards = capacity;
+  capacity_per_shard_ = capacity == 0 ? 0 : (capacity + num_shards - 1) /
+                                            num_shards;
+  capacity_total_ = capacity;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ShardedLruCache::Get(const std::string& key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  *value = it->second->second;
+  return true;
+}
+
+void ShardedLruCache::Put(const std::string& key, const std::string& value) {
+  if (capacity_per_shard_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  if (shard.index.size() >= capacity_per_shard_) {
+    auto& victim = shard.order.back();
+    shard.index.erase(victim.first);
+    shard.order.pop_back();
+    ++shard.evictions;
+  }
+  shard.order.emplace_front(key, value);
+  shard.index.emplace(key, shard.order.begin());
+}
+
+CacheStats ShardedLruCache::Stats() const {
+  CacheStats stats;
+  stats.capacity = capacity_total_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->index.size();
+  }
+  return stats;
+}
+
+void ShardedLruCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->order.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace serve
+}  // namespace wikimatch

@@ -1,0 +1,72 @@
+// Sharded LRU result cache for the serving subsystem. Keys are request
+// lines, values are rendered responses. Each shard owns its own mutex,
+// recency list, and hit/miss/eviction counters, so concurrent readers on
+// different shards never contend; Stats() aggregates across shards.
+
+#ifndef WIKIMATCH_SERVE_LRU_CACHE_H_
+#define WIKIMATCH_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wikimatch {
+namespace serve {
+
+/// \brief Aggregated cache counters.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// \brief Thread-safe string -> string LRU cache, sharded by key hash.
+class ShardedLruCache {
+ public:
+  /// \param capacity total entry budget across all shards (0 disables
+  ///        caching: every Get misses, Put is a no-op).
+  /// \param num_shards concurrency width; clamped to at least 1.
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8);
+
+  /// \brief Looks `key` up; on a hit copies the value into `*value`,
+  /// promotes the entry to most-recently-used, and returns true.
+  bool Get(const std::string& key, std::string* value);
+
+  /// \brief Inserts or refreshes `key`, evicting the least-recently-used
+  /// entry of the shard when it is at capacity.
+  void Put(const std::string& key, const std::string& value);
+
+  CacheStats Stats() const;
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<std::string, std::string>> order;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t capacity_per_shard_;
+  size_t capacity_total_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SERVE_LRU_CACHE_H_

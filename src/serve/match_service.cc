@@ -1,0 +1,355 @@
+#include "serve/match_service.h"
+
+#include <sstream>
+
+#include "text/normalize.h"
+
+namespace wikimatch {
+namespace serve {
+namespace {
+
+// Splits "a:b" into its two halves; false when there is no colon.
+bool SplitPairToken(const std::string& token, std::string* a,
+                    std::string* b) {
+  size_t colon = token.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == token.size()) {
+    return false;
+  }
+  *a = token.substr(0, colon);
+  *b = token.substr(colon + 1);
+  return true;
+}
+
+// Reads the next whitespace-delimited token starting at `*pos`; a leading
+// double quote makes the token run to the closing quote, so localized type
+// names with spaces stay one field.
+bool NextToken(const std::string& line, size_t* pos, std::string* token) {
+  while (*pos < line.size() && line[*pos] == ' ') ++*pos;
+  if (*pos >= line.size()) return false;
+  if (line[*pos] == '"') {
+    size_t close = line.find('"', *pos + 1);
+    if (close == std::string::npos) return false;
+    *token = line.substr(*pos + 1, close - *pos - 1);
+    *pos = close + 1;
+    return true;
+  }
+  size_t end = line.find(' ', *pos);
+  if (end == std::string::npos) end = line.size();
+  *token = line.substr(*pos, end - *pos);
+  *pos = end;
+  return true;
+}
+
+std::string RestOfLine(const std::string& line, size_t pos) {
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  size_t end = line.size();
+  while (end > pos && (line[end - 1] == ' ' || line[end - 1] == '\r')) {
+    --end;
+  }
+  return line.substr(pos, end - pos);
+}
+
+std::string RenderOk(const std::vector<std::string>& lines) {
+  std::string out = "ok " + std::to_string(lines.size()) + "\n";
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderErr(const std::string& message) {
+  return "err " + message + "\n";
+}
+
+std::string ClusterLine(const std::set<eval::AttrKey>& cluster) {
+  std::string line;
+  for (const auto& attr : cluster) {
+    if (!line.empty()) line += " ~ ";
+    line += attr.language + ":" + attr.name;
+  }
+  return line;
+}
+
+const std::vector<std::string> kHelpLines = {
+    "attr <src>:<tgt> <type_b> <lang> <attribute>   correspondents of the "
+    "attribute in the pair's other language",
+    "alignments <src>:<tgt> <type_b>                all alignment clusters "
+    "of the type",
+    "query <src>:<tgt> <c-query>                    translate the c-query "
+    "from <src> and evaluate it in <tgt>",
+    "types <src>:<tgt>                              entity-type mapping of "
+    "the pair",
+    "pairs                                          language pairs in the "
+    "snapshot",
+    "stats                                          service and cache "
+    "counters",
+    "quit                                           end the session",
+    "(quote multi-word type names: alignments pt:en \"artista musical\")",
+};
+
+}  // namespace
+
+util::Result<std::unique_ptr<MatchService>> MatchService::Load(
+    const std::string& path, const ServiceOptions& options) {
+  auto snapshot = store::ReadSnapshotFile(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return Create(std::move(snapshot).ValueOrDie(), options);
+}
+
+std::unique_ptr<MatchService> MatchService::Create(
+    store::Snapshot snapshot, const ServiceOptions& options) {
+  return std::unique_ptr<MatchService>(
+      new MatchService(std::move(snapshot), options));
+}
+
+MatchService::MatchService(store::Snapshot snapshot,
+                           const ServiceOptions& options)
+    : options_(options),
+      snapshot_(std::move(snapshot)),
+      cache_(options.cache_capacity, options.cache_shards) {
+  for (auto& [pair, result] : snapshot_.pipelines) {
+    PairServing serving;
+    serving.result = &result;
+    for (const auto& tr : result.per_type) {
+      // Pre-compress so concurrent readers never write to the lazy
+      // union-find (see MatchSet::CompressPaths).
+      tr.alignment.matches.CompressPaths();
+      serving.per_type.emplace(tr.type_b, &tr.alignment.matches);
+    }
+    serving.translator = std::make_unique<query::QueryTranslator>(
+        pair.first, pair.second, result.type_matches, serving.per_type,
+        &snapshot_.dictionary);
+    pairs_.emplace(pair, std::move(serving));
+  }
+}
+
+const MatchService::PairServing* MatchService::FindPair(
+    const std::string& lang_a, const std::string& lang_b) const {
+  auto it = pairs_.find({lang_a, lang_b});
+  return it == pairs_.end() ? nullptr : &it->second;
+}
+
+util::Result<std::vector<std::string>> MatchService::TranslateAttribute(
+    const std::string& lang_a, const std::string& lang_b,
+    const std::string& type_b, const std::string& lang,
+    const std::string& name) const {
+  const PairServing* pair = FindPair(lang_a, lang_b);
+  if (pair == nullptr) {
+    return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
+                                  lang_b + " in snapshot");
+  }
+  if (lang != lang_a && lang != lang_b) {
+    return util::Status::InvalidArgument("language " + lang +
+                                         " is not part of pair " + lang_a +
+                                         ":" + lang_b);
+  }
+  auto it = pair->per_type.find(type_b);
+  if (it == pair->per_type.end()) {
+    return util::Status::NotFound("no alignment for type " + type_b +
+                                  " in pair " + lang_a + ":" + lang_b);
+  }
+  const std::string& other = lang == lang_a ? lang_b : lang_a;
+  eval::AttrKey key{lang, text::NormalizeAttributeName(name)};
+  std::vector<std::string> out;
+  for (const auto& target : it->second->CorrespondentsOf(key, other)) {
+    out.push_back(target.language + ":" + target.name);
+  }
+  return out;
+}
+
+util::Result<std::vector<std::string>> MatchService::ListAlignments(
+    const std::string& lang_a, const std::string& lang_b,
+    const std::string& type_b) const {
+  const PairServing* pair = FindPair(lang_a, lang_b);
+  if (pair == nullptr) {
+    return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
+                                  lang_b + " in snapshot");
+  }
+  auto it = pair->per_type.find(type_b);
+  if (it == pair->per_type.end()) {
+    return util::Status::NotFound("no alignment for type " + type_b +
+                                  " in pair " + lang_a + ":" + lang_b);
+  }
+  std::vector<std::string> out;
+  for (const auto& cluster : it->second->Clusters()) {
+    out.push_back(ClusterLine(cluster));
+  }
+  return out;
+}
+
+util::Result<ServedQueryResult> MatchService::EvaluateTranslatedQuery(
+    const std::string& lang_a, const std::string& lang_b,
+    const std::string& query_text) const {
+  const PairServing* pair = FindPair(lang_a, lang_b);
+  if (pair == nullptr) {
+    return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
+                                  lang_b + " in snapshot");
+  }
+  auto parsed = query::ParseCQuery(query_text);
+  if (!parsed.ok()) return parsed.status().WithContext("parsing c-query");
+  query::TranslationReport report;
+  auto translated = pair->translator->Translate(*parsed, &report);
+  if (!translated.ok()) {
+    return translated.status().WithContext("translating c-query");
+  }
+  query::QueryEvaluator evaluator(&snapshot_.corpus, lang_b);
+  query::EvaluatorOptions eval_options;
+  eval_options.top_k = options_.query_top_k;
+  auto answers = evaluator.Run(*translated, eval_options);
+  if (!answers.ok()) {
+    return answers.status().WithContext("evaluating translated c-query");
+  }
+  ServedQueryResult out;
+  out.translated_query = translated->ToString();
+  out.constraints_translated = report.constraints_translated;
+  out.constraints_relaxed = report.constraints_relaxed;
+  out.answers.reserve(answers->size());
+  for (const auto& answer : *answers) {
+    ServedAnswer served;
+    served.title = snapshot_.corpus.Get(answer.article).title;
+    served.score = answer.score;
+    served.projections = answer.projections;
+    out.answers.push_back(std::move(served));
+  }
+  return out;
+}
+
+std::string MatchService::Dispatch(const std::string& line,
+                                   bool* cacheable) {
+  *cacheable = false;
+  size_t pos = 0;
+  std::string command;
+  if (!NextToken(line, &pos, &command)) return RenderErr("empty request");
+
+  if (command == "help") return RenderOk(kHelpLines);
+  if (command == "stats") {
+    ServiceStats stats = Stats();
+    std::ostringstream os;
+    os << "requests=" << stats.requests << " errors=" << stats.errors
+       << " cache_hits=" << stats.cache.hits
+       << " cache_misses=" << stats.cache.misses
+       << " cache_evictions=" << stats.cache.evictions
+       << " cache_entries=" << stats.cache.entries
+       << " cache_capacity=" << stats.cache.capacity;
+    return RenderOk({os.str()});
+  }
+  if (command == "pairs") {
+    std::vector<std::string> lines;
+    for (const auto& [pair, serving] : pairs_) {
+      lines.push_back(pair.first + ":" + pair.second);
+    }
+    return RenderOk(lines);
+  }
+
+  // Remaining commands address a language pair.
+  std::string pair_token, lang_a, lang_b;
+  if (!NextToken(line, &pos, &pair_token) ||
+      !SplitPairToken(pair_token, &lang_a, &lang_b)) {
+    return RenderErr("expected a language pair like pt:en after '" +
+                     command + "'");
+  }
+
+  if (command == "types") {
+    const PairServing* pair = FindPair(lang_a, lang_b);
+    if (pair == nullptr) {
+      return RenderErr("no pipeline for pair " + lang_a + ":" + lang_b +
+                       " in snapshot");
+    }
+    std::vector<std::string> lines;
+    for (const auto& tm : pair->result->type_matches) {
+      std::ostringstream os;
+      os << tm.type_a << "\t" << tm.type_b << "\t" << tm.votes << "\t"
+         << tm.confidence;
+      lines.push_back(os.str());
+    }
+    *cacheable = true;
+    return RenderOk(lines);
+  }
+
+  if (command == "attr") {
+    std::string type_b, lang;
+    if (!NextToken(line, &pos, &type_b) || !NextToken(line, &pos, &lang)) {
+      return RenderErr("usage: attr <src>:<tgt> <type_b> <lang> <attr>");
+    }
+    std::string name = RestOfLine(line, pos);
+    if (name.empty()) {
+      return RenderErr("usage: attr <src>:<tgt> <type_b> <lang> <attr>");
+    }
+    auto result = TranslateAttribute(lang_a, lang_b, type_b, lang, name);
+    if (!result.ok()) return RenderErr(result.status().ToString());
+    *cacheable = true;
+    return RenderOk(*result);
+  }
+
+  if (command == "alignments") {
+    std::string type_b;
+    if (!NextToken(line, &pos, &type_b) || type_b.empty()) {
+      return RenderErr("usage: alignments <src>:<tgt> <type_b>");
+    }
+    auto result = ListAlignments(lang_a, lang_b, type_b);
+    if (!result.ok()) return RenderErr(result.status().ToString());
+    *cacheable = true;
+    return RenderOk(*result);
+  }
+
+  if (command == "query") {
+    std::string query_text = RestOfLine(line, pos);
+    if (query_text.empty()) {
+      return RenderErr("usage: query <src>:<tgt> <c-query>");
+    }
+    auto result = EvaluateTranslatedQuery(lang_a, lang_b, query_text);
+    if (!result.ok()) return RenderErr(result.status().ToString());
+    std::vector<std::string> lines;
+    lines.push_back("translated " +
+                    std::to_string(result->constraints_translated) + " " +
+                    std::to_string(result->constraints_relaxed) + " " +
+                    result->translated_query);
+    for (const auto& answer : result->answers) {
+      std::string l = answer.title;
+      for (const auto& projection : answer.projections) {
+        l += '\t';
+        l += projection;
+      }
+      lines.push_back(std::move(l));
+    }
+    *cacheable = true;
+    return RenderOk(lines);
+  }
+
+  return RenderErr("unknown request '" + command +
+                   "' (try 'help' for the protocol)");
+}
+
+std::string MatchService::Handle(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string cached;
+  if (cache_.Get(line, &cached)) return cached;
+  bool cacheable = false;
+  std::string response = Dispatch(line, &cacheable);
+  if (cacheable) {
+    cache_.Put(line, response);
+  } else if (response.compare(0, 3, "err") == 0) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+ServiceStats MatchService::Stats() const {
+  ServiceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.cache = cache_.Stats();
+  return stats;
+}
+
+std::vector<store::LanguagePair> MatchService::Pairs() const {
+  std::vector<store::LanguagePair> out;
+  out.reserve(pairs_.size());
+  for (const auto& [pair, serving] : pairs_) out.push_back(pair);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace wikimatch

@@ -1,0 +1,137 @@
+// MatchService: the in-process serving layer. Loads a snapshot once (the
+// expensive offline matching already done by `wikimatch build-snapshot`)
+// and answers three request types — attribute-translation lookup, per-type
+// alignment listing, and translated c-query evaluation — from immutable
+// in-memory state behind a sharded LRU result cache.
+//
+// Thread safety: after construction every lookup structure is read-only
+// (MatchSets are fully path-compressed at load so even their lazy
+// union-find performs no writes), the cache is internally synchronized,
+// and counters are atomic — Handle() may be called from any number of
+// threads concurrently.
+
+#ifndef WIKIMATCH_SERVE_MATCH_SERVICE_H_
+#define WIKIMATCH_SERVE_MATCH_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "query/translator.h"
+#include "serve/lru_cache.h"
+#include "store/snapshot.h"
+#include "util/result.h"
+
+namespace wikimatch {
+namespace serve {
+
+/// \brief Serving configuration.
+struct ServiceOptions {
+  /// Total LRU result-cache entries (0 disables caching).
+  size_t cache_capacity = 4096;
+  /// Cache shards (concurrency width).
+  size_t cache_shards = 8;
+  /// Maximum answers per query request.
+  size_t query_top_k = 20;
+};
+
+/// \brief Observability counters.
+struct ServiceStats {
+  uint64_t requests = 0;       ///< Handle() calls, including errors
+  uint64_t errors = 0;         ///< requests answered with "err"
+  CacheStats cache;
+};
+
+/// \brief One answer of a translated query.
+struct ServedAnswer {
+  std::string title;
+  double score = 0.0;
+  std::vector<std::string> projections;
+};
+
+/// \brief Result of a translated c-query evaluation.
+struct ServedQueryResult {
+  std::string translated_query;
+  size_t constraints_translated = 0;
+  size_t constraints_relaxed = 0;
+  std::vector<ServedAnswer> answers;
+};
+
+/// \brief Thread-safe snapshot-backed match server.
+class MatchService {
+ public:
+  /// \brief Reads the snapshot at `path` and builds the serving indexes.
+  static util::Result<std::unique_ptr<MatchService>> Load(
+      const std::string& path, const ServiceOptions& options = {});
+
+  /// \brief Builds a service from an in-memory snapshot (tests, bench).
+  static std::unique_ptr<MatchService> Create(
+      store::Snapshot snapshot, const ServiceOptions& options = {});
+
+  // ---- Typed API (uncached) ----------------------------------------------
+
+  /// \brief Correspondents of attribute (`lang`, `name`) of the pair's
+  /// type `type_b` in the pair's *other* language, as "lang:name" strings.
+  util::Result<std::vector<std::string>> TranslateAttribute(
+      const std::string& lang_a, const std::string& lang_b,
+      const std::string& type_b, const std::string& lang,
+      const std::string& name) const;
+
+  /// \brief All alignment clusters of `type_b`, one "l:a ~ l:b" line each.
+  util::Result<std::vector<std::string>> ListAlignments(
+      const std::string& lang_a, const std::string& lang_b,
+      const std::string& type_b) const;
+
+  /// \brief Translates `query_text` (written in `lang_a`) across the pair
+  /// and evaluates it against the snapshot corpus in `lang_b`.
+  util::Result<ServedQueryResult> EvaluateTranslatedQuery(
+      const std::string& lang_a, const std::string& lang_b,
+      const std::string& query_text) const;
+
+  // ---- Line protocol (cached) --------------------------------------------
+
+  /// \brief Handles one request line (see docs/SERVING.md) and returns the
+  /// full response text ("ok <n>\n..." or "err <message>\n"). Successful
+  /// responses are served from / inserted into the LRU cache.
+  std::string Handle(const std::string& line);
+
+  ServiceStats Stats() const;
+
+  /// \brief Language pairs available in the snapshot.
+  std::vector<store::LanguagePair> Pairs() const;
+
+  const wiki::Corpus& corpus() const { return snapshot_.corpus; }
+
+ private:
+  struct PairServing {
+    const match::PipelineResult* result = nullptr;
+    std::map<std::string, const eval::MatchSet*> per_type;
+    std::unique_ptr<query::QueryTranslator> translator;
+  };
+
+  MatchService(store::Snapshot snapshot, const ServiceOptions& options);
+
+  /// The serving state of (lang_a, lang_b), or nullptr.
+  const PairServing* FindPair(const std::string& lang_a,
+                              const std::string& lang_b) const;
+
+  /// Uncached dispatch; returns the rendered response.
+  std::string Dispatch(const std::string& line, bool* cacheable);
+
+  ServiceOptions options_;
+  store::Snapshot snapshot_;
+  std::map<store::LanguagePair, PairServing> pairs_;
+  ShardedLruCache cache_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace serve
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SERVE_MATCH_SERVICE_H_

@@ -1,0 +1,24 @@
+#include "serve/protocol.h"
+
+#include <string>
+
+namespace wikimatch {
+namespace serve {
+
+size_t ServeLoop(std::istream& in, std::ostream& out,
+                 MatchService* service) {
+  size_t served = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    out << service->Handle(line);
+    out.flush();
+    ++served;
+  }
+  return served;
+}
+
+}  // namespace serve
+}  // namespace wikimatch

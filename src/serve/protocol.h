@@ -1,0 +1,25 @@
+// Line-oriented request/response loop for MatchService: one request per
+// input line, one "ok <n>"/"err <msg>" response block per request. Runs on
+// any istream/ostream pair, so `wikimatch serve` is scriptable over
+// stdin/stdout and tests drive it with stringstreams — no sockets needed.
+
+#ifndef WIKIMATCH_SERVE_PROTOCOL_H_
+#define WIKIMATCH_SERVE_PROTOCOL_H_
+
+#include <istream>
+#include <ostream>
+
+#include "serve/match_service.h"
+
+namespace wikimatch {
+namespace serve {
+
+/// \brief Reads request lines from `in` until EOF or a "quit"/"exit" line,
+/// writing each response to `out` (flushed per request). Blank lines are
+/// ignored. Returns the number of requests served.
+size_t ServeLoop(std::istream& in, std::ostream& out, MatchService* service);
+
+}  // namespace serve
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SERVE_PROTOCOL_H_

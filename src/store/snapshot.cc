@@ -1,0 +1,269 @@
+#include "store/snapshot.h"
+
+#include <cstring>
+
+#include "match/serialize.h"
+#include "store/crc32.h"
+#include "util/binary_io.h"
+#include "wiki/serialize.h"
+
+namespace wikimatch {
+namespace store {
+namespace {
+
+constexpr size_t kHeaderSize = 16;           // magic, version, count, reserved
+constexpr size_t kSectionHeaderSize = 16;    // kind u32, size u64, crc u32
+
+std::string EncodeHeader(uint32_t section_count) {
+  util::BinaryWriter w;
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(kSnapshotVersion);
+  w.PutU32(section_count);
+  w.PutU32(0);  // reserved
+  return w.TakeBuffer();
+}
+
+util::Status WriteAll(std::FILE* file, const std::string& bytes) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    return util::Status::IoError("short write to snapshot file");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<SnapshotWriter> SnapshotWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  SnapshotWriter writer(file);
+  // Provisional header with section_count = 0; Finish() patches it. A
+  // reader that sees zero sections treats the file as incomplete.
+  auto status = WriteAll(file, EncodeHeader(0));
+  if (!status.ok()) return status;
+  return writer;
+}
+
+SnapshotWriter::SnapshotWriter(SnapshotWriter&& other) noexcept
+    : file_(other.file_), section_count_(other.section_count_) {
+  other.file_ = nullptr;
+}
+
+SnapshotWriter& SnapshotWriter::operator=(SnapshotWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    section_count_ = other.section_count_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+util::Status SnapshotWriter::WriteSection(SectionKind kind,
+                                          const std::string& payload) {
+  if (file_ == nullptr) {
+    return util::Status::Internal("snapshot writer already finished");
+  }
+  util::BinaryWriter header;
+  header.PutU32(static_cast<uint32_t>(kind));
+  header.PutU64(payload.size());
+  header.PutU32(Crc32(payload));
+  WIKIMATCH_RETURN_NOT_OK(WriteAll(file_, header.buffer()));
+  WIKIMATCH_RETURN_NOT_OK(WriteAll(file_, payload));
+  ++section_count_;
+  return util::Status::OK();
+}
+
+util::Status SnapshotWriter::WriteCorpus(const wiki::Corpus& corpus) {
+  util::BinaryWriter w;
+  wiki::EncodeCorpus(corpus, &w);
+  return WriteSection(SectionKind::kCorpus, w.buffer());
+}
+
+util::Status SnapshotWriter::WriteDictionary(
+    const match::TranslationDictionary& dict) {
+  util::BinaryWriter w;
+  match::EncodeDictionary(dict, &w);
+  return WriteSection(SectionKind::kDictionary, w.buffer());
+}
+
+util::Status SnapshotWriter::WritePipeline(
+    const std::string& lang_a, const std::string& lang_b,
+    const match::PipelineResult& result) {
+  util::BinaryWriter w;
+  w.PutString(lang_a);
+  w.PutString(lang_b);
+  match::EncodePipelineResult(result, &w);
+  return WriteSection(SectionKind::kPipeline, w.buffer());
+}
+
+util::Status SnapshotWriter::Finish() {
+  if (file_ == nullptr) {
+    return util::Status::Internal("snapshot writer already finished");
+  }
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return util::Status::IoError("cannot seek to snapshot header");
+  }
+  util::Status status = WriteAll(file_, EncodeHeader(section_count_));
+  int close_rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!status.ok()) return status;
+  if (close_rc != 0) {
+    return util::Status::IoError("error closing snapshot file");
+  }
+  return util::Status::OK();
+}
+
+util::Status WriteSnapshotFile(const Snapshot& snapshot,
+                               const std::string& path) {
+  auto writer = SnapshotWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  WIKIMATCH_RETURN_NOT_OK(writer->WriteCorpus(snapshot.corpus));
+  WIKIMATCH_RETURN_NOT_OK(writer->WriteDictionary(snapshot.dictionary));
+  for (const auto& [pair, result] : snapshot.pipelines) {
+    WIKIMATCH_RETURN_NOT_OK(
+        writer->WritePipeline(pair.first, pair.second, result));
+  }
+  return writer->Finish();
+}
+
+util::Result<Snapshot> ReadSnapshotFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open snapshot " + path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{file};
+
+  // File size, for validating section length fields before allocating.
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return util::Status::IoError("cannot seek in snapshot " + path);
+  }
+  long file_size = std::ftell(file);
+  if (file_size < 0) {
+    return util::Status::IoError("cannot read size of snapshot " + path);
+  }
+  std::rewind(file);
+
+  std::string header(kHeaderSize, '\0');
+  if (std::fread(header.data(), 1, kHeaderSize, file) != kHeaderSize) {
+    return util::Status::OutOfRange("truncated snapshot " + path +
+                                    ": missing header");
+  }
+  util::BinaryReader hr(header);
+  uint32_t magic = hr.ReadU32().ValueOrDie();
+  uint32_t version = hr.ReadU32().ValueOrDie();
+  uint32_t section_count = hr.ReadU32().ValueOrDie();
+  if (magic != kSnapshotMagic) {
+    return util::Status::ParseError(path + " is not a wikimatch snapshot "
+                                    "(bad magic)");
+  }
+  if (version != kSnapshotVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) +
+        " in " + path + " (this build reads version " +
+        std::to_string(kSnapshotVersion) + ")");
+  }
+  if (section_count == 0) {
+    return util::Status::ParseError("snapshot " + path +
+                                    " is incomplete (zero sections; "
+                                    "build-snapshot did not finish)");
+  }
+
+  Snapshot snapshot;
+  bool have_corpus = false;
+  bool have_dictionary = false;
+  size_t bytes_left = static_cast<size_t>(file_size) - kHeaderSize;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    std::string section_header(kSectionHeaderSize, '\0');
+    if (bytes_left < kSectionHeaderSize ||
+        std::fread(section_header.data(), 1, kSectionHeaderSize, file) !=
+            kSectionHeaderSize) {
+      return util::Status::OutOfRange(
+          "truncated snapshot " + path + ": section " + std::to_string(s) +
+          " header missing");
+    }
+    bytes_left -= kSectionHeaderSize;
+    util::BinaryReader sr(section_header);
+    uint32_t kind = sr.ReadU32().ValueOrDie();
+    uint64_t payload_size = sr.ReadU64().ValueOrDie();
+    uint32_t expected_crc = sr.ReadU32().ValueOrDie();
+    if (payload_size > bytes_left) {
+      return util::Status::OutOfRange(
+          "truncated snapshot " + path + ": section " + std::to_string(s) +
+          " claims " + std::to_string(payload_size) + " bytes but only " +
+          std::to_string(bytes_left) + " remain");
+    }
+    std::string payload(payload_size, '\0');
+    if (payload_size > 0 &&
+        std::fread(payload.data(), 1, payload_size, file) != payload_size) {
+      return util::Status::OutOfRange("truncated snapshot " + path +
+                                      ": section " + std::to_string(s) +
+                                      " payload short");
+    }
+    bytes_left -= payload_size;
+    uint32_t actual_crc = Crc32(payload);
+    if (actual_crc != expected_crc) {
+      return util::Status::ParseError(
+          "corrupt snapshot " + path + ": CRC mismatch in section " +
+          std::to_string(s) + " (kind " + std::to_string(kind) + ")");
+    }
+
+    util::BinaryReader pr(payload);
+    switch (static_cast<SectionKind>(kind)) {
+      case SectionKind::kCorpus: {
+        auto corpus = wiki::DecodeCorpus(&pr);
+        if (!corpus.ok()) {
+          return corpus.status().WithContext("snapshot corpus section");
+        }
+        snapshot.corpus = std::move(corpus).ValueOrDie();
+        have_corpus = true;
+        break;
+      }
+      case SectionKind::kDictionary: {
+        auto dict = match::DecodeDictionary(&pr);
+        if (!dict.ok()) {
+          return dict.status().WithContext("snapshot dictionary section");
+        }
+        snapshot.dictionary = std::move(dict).ValueOrDie();
+        have_dictionary = true;
+        break;
+      }
+      case SectionKind::kPipeline: {
+        auto lang_a = pr.ReadString();
+        if (!lang_a.ok()) return lang_a.status();
+        auto lang_b = pr.ReadString();
+        if (!lang_b.ok()) return lang_b.status();
+        auto result = match::DecodePipelineResult(&pr);
+        if (!result.ok()) {
+          return result.status().WithContext("snapshot pipeline section " +
+                                             *lang_a + ":" + *lang_b);
+        }
+        snapshot.pipelines.emplace(
+            LanguagePair(std::move(lang_a).ValueOrDie(),
+                         std::move(lang_b).ValueOrDie()),
+            std::move(result).ValueOrDie());
+        break;
+      }
+      default:
+        // Unknown kind within a supported version: additive section from a
+        // newer writer — skip it.
+        break;
+    }
+  }
+  if (!have_corpus || !have_dictionary) {
+    return util::Status::ParseError("snapshot " + path +
+                                    " lacks a corpus or dictionary section");
+  }
+  return snapshot;
+}
+
+}  // namespace store
+}  // namespace wikimatch

@@ -1,0 +1,106 @@
+// Versioned binary snapshot of a finished matching run: the finalized
+// corpus, the translation dictionary, and one full PipelineResult per
+// language pair. A snapshot is what `wikimatch build-snapshot` produces
+// offline and what the serving subsystem (src/serve/) loads once to answer
+// lookups and translated queries without re-running the matcher.
+//
+// File layout (all integers little-endian; see docs/SERVING.md):
+//
+//   header   magic u32 ("WMSN") | version u32 | section_count u32 |
+//            reserved u32 (zero)
+//   section  kind u32 | payload_size u64 | crc32 u32 | payload bytes
+//
+// Section kinds: 1 = corpus, 2 = dictionary, 3 = pipeline result (payload
+// begins with lang_a, lang_b; repeats once per pair). Unknown kinds within
+// a supported version are skipped, so sections can be added without a
+// version bump. Readers verify the magic, the version, the section count,
+// and every section's CRC-32, and fail with a descriptive util::Status on
+// truncated, corrupt, or version-mismatched input — never undefined
+// behavior.
+
+#ifndef WIKIMATCH_STORE_SNAPSHOT_H_
+#define WIKIMATCH_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "match/dictionary.h"
+#include "match/pipeline.h"
+#include "util/result.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace store {
+
+inline constexpr uint32_t kSnapshotMagic = 0x4E534D57u;  // "WMSN" on disk
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// \brief Section kinds of the snapshot container.
+enum class SectionKind : uint32_t {
+  kCorpus = 1,
+  kDictionary = 2,
+  kPipeline = 3,
+};
+
+/// \brief A language pair, source first ("pt", "en").
+using LanguagePair = std::pair<std::string, std::string>;
+
+/// \brief Everything a snapshot holds, in memory.
+struct Snapshot {
+  wiki::Corpus corpus;
+  match::TranslationDictionary dictionary;
+  std::map<LanguagePair, match::PipelineResult> pipelines;
+};
+
+/// \brief Streaming writer: one Write* call per section, then Finish().
+///
+/// Sections are checksummed and flushed as they are written; the header's
+/// section count is patched in by Finish(), so a file without a successful
+/// Finish() (crash mid-build) is rejected by the reader.
+class SnapshotWriter {
+ public:
+  /// \brief Opens `path` for writing and emits a provisional header.
+  static util::Result<SnapshotWriter> Open(const std::string& path);
+
+  SnapshotWriter(SnapshotWriter&& other) noexcept;
+  SnapshotWriter& operator=(SnapshotWriter&& other) noexcept;
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+  ~SnapshotWriter();
+
+  util::Status WriteCorpus(const wiki::Corpus& corpus);
+  util::Status WriteDictionary(const match::TranslationDictionary& dict);
+  util::Status WritePipeline(const std::string& lang_a,
+                             const std::string& lang_b,
+                             const match::PipelineResult& result);
+
+  /// \brief Patches the section count into the header and closes the file.
+  util::Status Finish();
+
+ private:
+  explicit SnapshotWriter(std::FILE* file) : file_(file) {}
+
+  util::Status WriteSection(SectionKind kind, const std::string& payload);
+
+  std::FILE* file_ = nullptr;
+  uint32_t section_count_ = 0;
+};
+
+/// \brief Writes a complete in-memory snapshot to `path`.
+util::Status WriteSnapshotFile(const Snapshot& snapshot,
+                               const std::string& path);
+
+/// \brief Reads and validates a snapshot file.
+///
+/// Errors: IoError (unreadable file), ParseError (bad magic, CRC mismatch,
+/// malformed section payload), OutOfRange (truncated file or section),
+/// InvalidArgument (unsupported version).
+util::Result<Snapshot> ReadSnapshotFile(const std::string& path);
+
+}  // namespace store
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_STORE_SNAPSHOT_H_

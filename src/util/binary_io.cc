@@ -1,0 +1,82 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+
+namespace wikimatch {
+namespace util {
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  buffer_.append(s);
+}
+
+Status BinaryReader::Require(size_t n) const {
+  if (n > remaining()) {
+    return Status::OutOfRange("truncated stream: need " + std::to_string(n) +
+                              " bytes at offset " + std::to_string(offset_) +
+                              ", have " + std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  WIKIMATCH_RETURN_NOT_OK(Require(1));
+  return static_cast<uint8_t>(data_[offset_++]);
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  WIKIMATCH_RETURN_NOT_OK(Require(4));
+  uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[offset_++]))
+         << shift;
+  }
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  WIKIMATCH_RETURN_NOT_OK(Require(8));
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[offset_++]))
+         << shift;
+  }
+  return v;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  WIKIMATCH_RETURN_NOT_OK(Require(size));
+  std::string out(data_.substr(offset_, size));
+  offset_ += size;
+  return out;
+}
+
+}  // namespace util
+}  // namespace wikimatch

@@ -1,0 +1,69 @@
+// Little-endian binary encoding primitives for the snapshot store.
+//
+// BinaryWriter appends fixed-width integers, IEEE doubles, and
+// length-prefixed strings to a growable byte buffer; BinaryReader decodes
+// the same stream and reports truncation or overlong length fields as a
+// clean util::Status instead of reading out of bounds. The encoding is
+// byte-order independent (values are assembled byte by byte), so snapshots
+// written on one machine load on any other.
+
+#ifndef WIKIMATCH_UTIL_BINARY_IO_H_
+#define WIKIMATCH_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace wikimatch {
+namespace util {
+
+/// \brief Appends little-endian primitives to an owned byte buffer.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Doubles travel as their IEEE-754 bit pattern in a u64.
+  void PutDouble(double v);
+  /// u64 byte length followed by the raw bytes.
+  void PutString(std::string_view s);
+  /// Raw bytes, no length prefix (section payloads already carry sizes).
+  void PutBytes(std::string_view s) { buffer_.append(s); }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// \brief Decodes a BinaryWriter stream; every read is bounds-checked.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+  bool AtEnd() const { return offset_ == data_.size(); }
+
+ private:
+  /// OutOfRange unless `n` more bytes are available.
+  Status Require(size_t n) const;
+
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace util
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_UTIL_BINARY_IO_H_

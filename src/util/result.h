@@ -77,9 +77,16 @@ class Result {
 }  // namespace wikimatch
 
 /// Assigns the value of a Result expression to `lhs`, or propagates its error.
-#define WIKIMATCH_ASSIGN_OR_RETURN(lhs, rexpr)       \
-  auto _res_##__LINE__ = (rexpr);                    \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).ValueOrDie()
+/// The two-step concat is required so __LINE__ expands to its value and
+/// several uses can share one scope.
+#define WIKIMATCH_INTERNAL_CONCAT2(a, b) a##b
+#define WIKIMATCH_INTERNAL_CONCAT(a, b) WIKIMATCH_INTERNAL_CONCAT2(a, b)
+#define WIKIMATCH_ASSIGN_OR_RETURN(lhs, rexpr) \
+  WIKIMATCH_ASSIGN_OR_RETURN_IMPL(             \
+      WIKIMATCH_INTERNAL_CONCAT(_res_, __LINE__), lhs, rexpr)
+#define WIKIMATCH_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                    \
+  if (!result.ok()) return result.status();                 \
+  lhs = std::move(result).ValueOrDie()
 
 #endif  // WIKIMATCH_UTIL_RESULT_H_

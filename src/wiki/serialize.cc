@@ -1,0 +1,121 @@
+#include "wiki/serialize.h"
+
+namespace wikimatch {
+namespace wiki {
+namespace {
+
+void EncodeAttributeValue(const AttributeValue& value,
+                          util::BinaryWriter* w) {
+  w->PutString(value.raw);
+  w->PutString(value.text);
+  w->PutU64(value.links.size());
+  for (const auto& link : value.links) {
+    w->PutString(link.target);
+    w->PutString(link.anchor);
+  }
+}
+
+util::Result<AttributeValue> DecodeAttributeValue(util::BinaryReader* r) {
+  AttributeValue value;
+  WIKIMATCH_ASSIGN_OR_RETURN(value.raw, r->ReadString());
+  WIKIMATCH_ASSIGN_OR_RETURN(value.text, r->ReadString());
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t num_links, r->ReadU64());
+  value.links.reserve(num_links);
+  for (uint64_t i = 0; i < num_links; ++i) {
+    Hyperlink link;
+    WIKIMATCH_ASSIGN_OR_RETURN(link.target, r->ReadString());
+    WIKIMATCH_ASSIGN_OR_RETURN(link.anchor, r->ReadString());
+    value.links.push_back(std::move(link));
+  }
+  return value;
+}
+
+}  // namespace
+
+void EncodeArticle(const Article& article, util::BinaryWriter* w) {
+  w->PutString(article.title);
+  w->PutString(article.language);
+  w->PutString(article.entity_type);
+  w->PutString(article.redirect_to);
+  w->PutU8(article.infobox.has_value() ? 1 : 0);
+  if (article.infobox.has_value()) {
+    const Infobox& box = *article.infobox;
+    w->PutString(box.template_type);
+    w->PutString(box.template_name);
+    w->PutU64(box.attributes.size());
+    for (const auto& [name, value] : box.attributes) {
+      w->PutString(name);
+      EncodeAttributeValue(value, w);
+    }
+  }
+  w->PutU64(article.categories.size());
+  for (const auto& category : article.categories) w->PutString(category);
+  w->PutU64(article.cross_language_links.size());
+  for (const auto& [lang, title] : article.cross_language_links) {
+    w->PutString(lang);
+    w->PutString(title);
+  }
+}
+
+util::Result<Article> DecodeArticle(util::BinaryReader* r) {
+  Article article;
+  WIKIMATCH_ASSIGN_OR_RETURN(article.title, r->ReadString());
+  WIKIMATCH_ASSIGN_OR_RETURN(article.language, r->ReadString());
+  WIKIMATCH_ASSIGN_OR_RETURN(article.entity_type, r->ReadString());
+  WIKIMATCH_ASSIGN_OR_RETURN(article.redirect_to, r->ReadString());
+  WIKIMATCH_ASSIGN_OR_RETURN(uint8_t has_infobox, r->ReadU8());
+  if (has_infobox != 0) {
+    Infobox box;
+    WIKIMATCH_ASSIGN_OR_RETURN(box.template_type, r->ReadString());
+    WIKIMATCH_ASSIGN_OR_RETURN(box.template_name, r->ReadString());
+    WIKIMATCH_ASSIGN_OR_RETURN(uint64_t num_attrs, r->ReadU64());
+    box.attributes.reserve(num_attrs);
+    for (uint64_t i = 0; i < num_attrs; ++i) {
+      WIKIMATCH_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+      auto value = DecodeAttributeValue(r);
+      if (!value.ok()) return value.status();
+      box.attributes.emplace_back(std::move(name),
+                                  std::move(value).ValueOrDie());
+    }
+    article.infobox = std::move(box);
+  }
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t num_categories, r->ReadU64());
+  article.categories.reserve(num_categories);
+  for (uint64_t i = 0; i < num_categories; ++i) {
+    WIKIMATCH_ASSIGN_OR_RETURN(std::string category, r->ReadString());
+    article.categories.push_back(std::move(category));
+  }
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t num_links, r->ReadU64());
+  for (uint64_t i = 0; i < num_links; ++i) {
+    WIKIMATCH_ASSIGN_OR_RETURN(std::string lang, r->ReadString());
+    WIKIMATCH_ASSIGN_OR_RETURN(std::string title, r->ReadString());
+    article.cross_language_links.emplace(std::move(lang), std::move(title));
+  }
+  return article;
+}
+
+void EncodeCorpus(const Corpus& corpus, util::BinaryWriter* w) {
+  w->PutU64(corpus.size());
+  for (ArticleId id = 0; id < corpus.size(); ++id) {
+    EncodeArticle(corpus.Get(id), w);
+  }
+}
+
+util::Result<Corpus> DecodeCorpus(util::BinaryReader* r) {
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t num_articles, r->ReadU64());
+  Corpus corpus;
+  for (uint64_t i = 0; i < num_articles; ++i) {
+    auto article = DecodeArticle(r);
+    if (!article.ok()) return article.status();
+    auto id = corpus.AddArticle(std::move(article).ValueOrDie());
+    if (!id.ok()) {
+      return id.status().WithContext("decoding corpus article " +
+                                     std::to_string(i));
+    }
+  }
+  corpus.Finalize();
+  return corpus;
+}
+
+}  // namespace wiki
+}  // namespace wikimatch

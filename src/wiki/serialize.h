@@ -1,0 +1,34 @@
+// Binary serialization of the corpus for the snapshot store (src/store/).
+//
+// Articles are written exactly as stored — title, language, infobox,
+// categories, cross-language links, entity type, redirect target — and the
+// decoder re-adds them and calls Finalize(), which is idempotent on
+// already-symmetrized link graphs, so a round-tripped corpus answers every
+// index query identically to the original.
+
+#ifndef WIKIMATCH_WIKI_SERIALIZE_H_
+#define WIKIMATCH_WIKI_SERIALIZE_H_
+
+#include "util/binary_io.h"
+#include "util/result.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace wiki {
+
+/// \brief Appends the corpus (all articles) to `writer`.
+void EncodeCorpus(const Corpus& corpus, util::BinaryWriter* writer);
+
+/// \brief Decodes an EncodeCorpus stream into a finalized corpus.
+util::Result<Corpus> DecodeCorpus(util::BinaryReader* reader);
+
+/// \brief Appends one article to `writer` (exposed for tests).
+void EncodeArticle(const Article& article, util::BinaryWriter* writer);
+
+/// \brief Decodes one EncodeArticle record.
+util::Result<Article> DecodeArticle(util::BinaryReader* reader);
+
+}  // namespace wiki
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_WIKI_SERIALIZE_H_

@@ -1,0 +1,261 @@
+// Tests for the serving subsystem: the sharded LRU cache, MatchService
+// request handling (including the acceptance criterion that a served
+// translated c-query equals the one-shot translate+evaluate path and that
+// a repeated request hits the LRU cache), and the line protocol loop.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "match/pipeline.h"
+#include "query/evaluator.h"
+#include "query/translator.h"
+#include "serve/lru_cache.h"
+#include "serve/match_service.h"
+#include "serve/protocol.h"
+#include "store/snapshot.h"
+#include "synth/generator.h"
+
+namespace wikimatch {
+namespace serve {
+namespace {
+
+constexpr char kQuery[] = "filme(receita > 1000000, elenco=?)";
+
+// One corpus + pipeline + snapshot file shared by the suite.
+struct Fixture {
+  synth::GeneratedCorpus gc;
+  match::PipelineResult result;
+  match::TranslationDictionary dictionary;
+  std::string snapshot_path;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny());
+    f->gc = std::move(generator.Generate()).ValueOrDie();
+    match::MatchPipeline pipeline(&f->gc.corpus);
+    f->result = std::move(pipeline.Run("pt", "en")).ValueOrDie();
+    f->dictionary = pipeline.dictionary();
+    f->snapshot_path = ::testing::TempDir() + "/serve_test.snap";
+    store::Snapshot snapshot;
+    snapshot.corpus = f->gc.corpus;
+    snapshot.dictionary = f->dictionary;
+    snapshot.pipelines.emplace(store::LanguagePair("pt", "en"), f->result);
+    auto status = store::WriteSnapshotFile(snapshot, f->snapshot_path);
+    if (!status.ok()) {
+      ADD_FAILURE() << status.ToString();
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+// The current one-shot CLI path: run the matcher, translate, evaluate.
+std::vector<std::pair<std::string, std::vector<std::string>>>
+OneShotAnswers(const std::string& query_text) {
+  const Fixture& f = GetFixture();
+  std::map<std::string, const eval::MatchSet*> per_type;
+  for (const auto& tr : f.result.per_type) {
+    per_type.emplace(tr.type_b, &tr.alignment.matches);
+  }
+  query::QueryTranslator translator("pt", "en", f.result.type_matches,
+                                    per_type, &f.dictionary);
+  auto parsed = query::ParseCQuery(query_text);
+  EXPECT_TRUE(parsed.ok());
+  auto translated = translator.Translate(*parsed);
+  EXPECT_TRUE(translated.ok());
+  query::QueryEvaluator evaluator(&f.gc.corpus, "en");
+  auto answers = evaluator.Run(*translated);
+  EXPECT_TRUE(answers.ok());
+  std::vector<std::pair<std::string, std::vector<std::string>>> out;
+  for (const auto& answer : *answers) {
+    out.emplace_back(f.gc.corpus.Get(answer.article).title,
+                     answer.projections);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- lru cache
+
+TEST(LruCacheTest, HitMissPromoteEvict) {
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1);
+  std::string value;
+  EXPECT_FALSE(cache.Get("a", &value));
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  ASSERT_TRUE(cache.Get("a", &value));
+  EXPECT_EQ(value, "1");
+  // "b" is now least-recently-used; inserting "c" evicts it.
+  cache.Put("c", "3");
+  EXPECT_FALSE(cache.Get("b", &value));
+  EXPECT_TRUE(cache.Get("a", &value));
+  EXPECT_TRUE(cache.Get("c", &value));
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  ShardedLruCache cache(0, 4);
+  cache.Put("a", "1");
+  std::string value;
+  EXPECT_FALSE(cache.Get("a", &value));
+}
+
+TEST(LruCacheTest, ConcurrentMixedLoad) {
+  ShardedLruCache cache(256, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t]() {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k" + std::to_string((i * 7 + t) % 64);
+        std::string value;
+        if (!cache.Get(key, &value)) cache.Put(key, key + "!");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 500u);
+  EXPECT_LE(stats.entries, 256u);
+}
+
+// -------------------------------------------------------------- match service
+
+TEST(ServeTest, LoadRejectsMissingSnapshot) {
+  auto service = MatchService::Load("/nonexistent/path.snap");
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(ServeTest, AttributeTranslationLookup) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  // "film" is the hub-side type of the Tiny corpus; its alignment must
+  // carry at least one pt -> en correspondence discovered by the matcher.
+  auto alignments = (*service)->ListAlignments("pt", "en", "film");
+  ASSERT_TRUE(alignments.ok()) << alignments.status().ToString();
+  ASSERT_FALSE(alignments->empty());
+  // Take a pt attribute from the pipeline's own MatchSet and ask the
+  // service for its correspondents.
+  const auto* tr = GetFixture().result.FindByTypeB("film");
+  ASSERT_NE(tr, nullptr);
+  auto pairs = tr->alignment.matches.CrossLanguagePairs("pt", "en");
+  ASSERT_FALSE(pairs.empty());
+  const auto& [pt_attr, en_attr] = pairs.front();
+  auto correspondents = (*service)->TranslateAttribute(
+      "pt", "en", "film", "pt", pt_attr.name);
+  ASSERT_TRUE(correspondents.ok()) << correspondents.status().ToString();
+  bool found = false;
+  for (const auto& c : *correspondents) {
+    if (c == "en:" + en_attr.name) found = true;
+  }
+  EXPECT_TRUE(found) << "expected en:" << en_attr.name;
+  // Unknown pair and unknown type are clean errors.
+  EXPECT_FALSE((*service)->TranslateAttribute("vi", "en", "film", "vi",
+                                              "x").ok());
+  EXPECT_FALSE((*service)->TranslateAttribute("pt", "en", "nope", "pt",
+                                              "x").ok());
+}
+
+TEST(ServeTest, TranslatedQueryMatchesOneShotPath) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  auto served = (*service)->EvaluateTranslatedQuery("pt", "en", kQuery);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  auto expected = OneShotAnswers(kQuery);
+  ASSERT_EQ(served->answers.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(served->answers[i].title, expected[i].first) << "answer " << i;
+    EXPECT_EQ(served->answers[i].projections, expected[i].second)
+        << "answer " << i;
+  }
+  EXPECT_GT(served->constraints_translated, 0u);
+}
+
+TEST(ServeTest, SecondIdenticalRequestIsACacheHit) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  std::string request = std::string("query pt:en ") + kQuery;
+  std::string first = (*service)->Handle(request);
+  ASSERT_EQ(first.compare(0, 3, "ok "), 0) << first;
+  std::string second = (*service)->Handle(request);
+  EXPECT_EQ(first, second);
+  ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeTest, ErrorsAreCountedNotCached) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  std::string response = (*service)->Handle("query vi:en filme(x=?)");
+  EXPECT_EQ(response.compare(0, 3, "err"), 0) << response;
+  (*service)->Handle("bogus request");
+  ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+}
+
+TEST(ServeTest, ConcurrentHandleIsSafeAndConsistent) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  const std::vector<std::string> requests = {
+      std::string("query pt:en ") + kQuery,
+      "alignments pt:en film",
+      "types pt:en",
+      "attr pt:en film en starring",
+  };
+  std::vector<std::string> baselines;
+  for (const auto& request : requests) {
+    baselines.push_back((*service)->Handle(request));
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 50; ++i) {
+        size_t pick = (i + t) % requests.size();
+        if ((*service)->Handle(requests[pick]) != baselines[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.requests, 4u + 8u * 50u);
+}
+
+// ----------------------------------------------------------------- protocol
+
+TEST(ServeTest, ServeLoopSpeaksTheLineProtocol) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  std::istringstream in(
+      "pairs\n"
+      "\n"
+      "alignments pt:en film\n"
+      "nonsense\n"
+      "quit\n"
+      "pairs\n");  // after quit: never served
+  std::ostringstream out;
+  size_t served = ServeLoop(in, out, service->get());
+  EXPECT_EQ(served, 3u);
+  std::string text = out.str();
+  EXPECT_EQ(text.compare(0, 10, "ok 1\npt:en"), 0) << text;
+  EXPECT_NE(text.find("err expected a language pair"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace wikimatch

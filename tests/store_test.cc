@@ -1,0 +1,338 @@
+// Tests for the snapshot store: binary primitives, corpus / dictionary /
+// pipeline round trips, and robustness against corrupt, truncated, and
+// version-mismatched files (every failure must be a clean util::Result
+// error, never a crash — the sanitizer build runs this suite).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "match/pipeline.h"
+#include "match/serialize.h"
+#include "store/crc32.h"
+#include "store/snapshot.h"
+#include "synth/generator.h"
+#include "util/binary_io.h"
+#include "wiki/serialize.h"
+
+namespace wikimatch {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// One generated corpus + pipeline run shared by the suite (building it is
+// the expensive part of these tests).
+struct Fixture {
+  synth::GeneratedCorpus gc;
+  match::PipelineResult result;
+  match::TranslationDictionary dictionary;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny());
+    f->gc = std::move(generator.Generate()).ValueOrDie();
+    match::MatchPipeline pipeline(&f->gc.corpus);
+    f->result = std::move(pipeline.Run("pt", "en")).ValueOrDie();
+    f->dictionary = pipeline.dictionary();
+    return f;
+  }();
+  return *fixture;
+}
+
+Snapshot MakeSnapshot() {
+  const Fixture& f = GetFixture();
+  Snapshot snapshot;
+  snapshot.corpus = f.gc.corpus;
+  snapshot.dictionary = f.dictionary;
+  snapshot.pipelines.emplace(LanguagePair("pt", "en"), f.result);
+  return snapshot;
+}
+
+// ---------------------------------------------------------------- binary io
+
+TEST(BinaryIoTest, PrimitivesRoundTrip) {
+  util::BinaryWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutDouble(-0.125);
+  w.PutString("olá");
+  w.PutString("");
+  util::BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadU8().ValueOrDie(), 0xAB);
+  EXPECT_EQ(r.ReadU32().ValueOrDie(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().ValueOrDie(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadDouble().ValueOrDie(), -0.125);
+  EXPECT_EQ(r.ReadString().ValueOrDie(), "olá");
+  EXPECT_EQ(r.ReadString().ValueOrDie(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, TruncatedReadsFailCleanly) {
+  util::BinaryWriter w;
+  w.PutU32(7);
+  util::BinaryReader r(w.buffer());
+  EXPECT_TRUE(r.ReadU32().ok());
+  EXPECT_FALSE(r.ReadU8().ok());
+  EXPECT_FALSE(r.ReadU64().ok());
+  // A string whose length field exceeds the remaining bytes.
+  util::BinaryWriter w2;
+  w2.PutU64(1000);
+  w2.PutBytes("short");
+  util::BinaryReader r2(w2.buffer());
+  auto s = r2.ReadString();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(Crc32Test, KnownVectorsAndChunking) {
+  // Standard check value of CRC-32/ISO-HDLC.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  uint32_t chunked = Crc32("6789", Crc32("12345"));
+  EXPECT_EQ(chunked, 0xCBF43926u);
+}
+
+// --------------------------------------------------------------- round trips
+
+TEST(StoreTest, CorpusRoundTrip) {
+  const wiki::Corpus& original = GetFixture().gc.corpus;
+  util::BinaryWriter w;
+  wiki::EncodeCorpus(original, &w);
+  util::BinaryReader r(w.buffer());
+  auto decoded = wiki::DecodeCorpus(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), original.size());
+  for (wiki::ArticleId id = 0; id < original.size(); ++id) {
+    const wiki::Article& a = original.Get(id);
+    const wiki::Article& b = decoded->Get(id);
+    ASSERT_EQ(a.title, b.title);
+    ASSERT_EQ(a.language, b.language);
+    ASSERT_EQ(a.entity_type, b.entity_type);
+    ASSERT_EQ(a.redirect_to, b.redirect_to);
+    ASSERT_EQ(a.categories, b.categories);
+    ASSERT_EQ(a.cross_language_links, b.cross_language_links);
+    ASSERT_EQ(a.infobox.has_value(), b.infobox.has_value());
+    if (a.infobox.has_value()) {
+      ASSERT_EQ(a.infobox->template_type, b.infobox->template_type);
+      ASSERT_EQ(a.infobox->attributes.size(), b.infobox->attributes.size());
+      for (size_t i = 0; i < a.infobox->attributes.size(); ++i) {
+        ASSERT_EQ(a.infobox->attributes[i].first,
+                  b.infobox->attributes[i].first);
+        ASSERT_EQ(a.infobox->attributes[i].second.text,
+                  b.infobox->attributes[i].second.text);
+        ASSERT_EQ(a.infobox->attributes[i].second.links,
+                  b.infobox->attributes[i].second.links);
+      }
+    }
+  }
+  // Finalized indexes answer identically.
+  EXPECT_EQ(decoded->Languages(), original.Languages());
+  EXPECT_EQ(decoded->TypesIn("pt"), original.TypesIn("pt"));
+  EXPECT_EQ(decoded->ArticlesOfType("en", "film").size(),
+            original.ArticlesOfType("en", "film").size());
+}
+
+TEST(StoreTest, DictionaryRoundTrip) {
+  const match::TranslationDictionary& original = GetFixture().dictionary;
+  util::BinaryWriter w;
+  match::EncodeDictionary(original, &w);
+  util::BinaryReader r(w.buffer());
+  auto decoded = match::DecodeDictionary(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->entries(), original.entries());
+}
+
+TEST(StoreTest, MatchSetRoundTripBothModes) {
+  eval::MatchSet transitive(true);
+  transitive.AddCluster({{"en", "starring"}, {"pt", "elenco"}});
+  transitive.AddPair({"en", "born"}, {"pt", "nascimento"});
+  util::BinaryWriter w1;
+  match::EncodeMatchSet(transitive, &w1);
+  util::BinaryReader r1(w1.buffer());
+  auto t = match::DecodeMatchSet(&r1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->transitive());
+  EXPECT_EQ(t->Clusters(), transitive.Clusters());
+
+  eval::MatchSet pairwise(false);
+  pairwise.AddPair({"en", "a"}, {"pt", "b"});
+  pairwise.AddPair({"en", "a"}, {"pt", "c"});
+  util::BinaryWriter w2;
+  match::EncodeMatchSet(pairwise, &w2);
+  util::BinaryReader r2(w2.buffer());
+  auto p = match::DecodeMatchSet(&r2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->transitive());
+  EXPECT_EQ(p->DirectPairs(), pairwise.DirectPairs());
+  // Pairwise mode must not fabricate b ~ c.
+  EXPECT_FALSE(p->AreMatched({"pt", "b"}, {"pt", "c"}));
+}
+
+TEST(StoreTest, PipelineResultRoundTrip) {
+  const match::PipelineResult& original = GetFixture().result;
+  util::BinaryWriter w;
+  match::EncodePipelineResult(original, &w);
+  util::BinaryReader r(w.buffer());
+  auto decoded = match::DecodePipelineResult(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->type_matches.size(), original.type_matches.size());
+  for (size_t i = 0; i < original.type_matches.size(); ++i) {
+    EXPECT_EQ(decoded->type_matches[i].type_a,
+              original.type_matches[i].type_a);
+    EXPECT_EQ(decoded->type_matches[i].type_b,
+              original.type_matches[i].type_b);
+    EXPECT_EQ(decoded->type_matches[i].votes,
+              original.type_matches[i].votes);
+    EXPECT_EQ(decoded->type_matches[i].confidence,
+              original.type_matches[i].confidence);
+  }
+  ASSERT_EQ(decoded->per_type.size(), original.per_type.size());
+  for (size_t i = 0; i < original.per_type.size(); ++i) {
+    const auto& a = original.per_type[i];
+    const auto& b = decoded->per_type[i];
+    EXPECT_EQ(a.type_a, b.type_a);
+    EXPECT_EQ(a.type_b, b.type_b);
+    EXPECT_EQ(a.num_duals, b.num_duals);
+    EXPECT_EQ(a.frequencies, b.frequencies);
+    EXPECT_EQ(a.alignment.matches.Clusters(),
+              b.alignment.matches.Clusters());
+    ASSERT_EQ(a.alignment.all_pairs.size(), b.alignment.all_pairs.size());
+    for (size_t j = 0; j < a.alignment.all_pairs.size(); ++j) {
+      EXPECT_EQ(a.alignment.all_pairs[j].i, b.alignment.all_pairs[j].i);
+      EXPECT_EQ(a.alignment.all_pairs[j].j, b.alignment.all_pairs[j].j);
+      EXPECT_EQ(a.alignment.all_pairs[j].lsi, b.alignment.all_pairs[j].lsi);
+    }
+    EXPECT_EQ(a.alignment.processed_order.size(),
+              b.alignment.processed_order.size());
+  }
+}
+
+TEST(StoreTest, SnapshotFileRoundTrip) {
+  std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->corpus.size(), GetFixture().gc.corpus.size());
+  EXPECT_EQ(loaded->dictionary.entries(),
+            GetFixture().dictionary.entries());
+  ASSERT_EQ(loaded->pipelines.size(), 1u);
+  const auto& result = loaded->pipelines.at(LanguagePair("pt", "en"));
+  EXPECT_EQ(result.per_type.size(), GetFixture().result.per_type.size());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- robustness
+
+TEST(StoreTest, MissingFileIsIoError) {
+  auto loaded = ReadSnapshotFile(TempPath("does-not-exist.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(StoreTest, BadMagicIsRejected) {
+  std::string path = TempPath("badmagic.snap");
+  WriteFileBytes(path, "this is definitely not a snapshot file at all");
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, WrongVersionIsRejected) {
+  std::string path = TempPath("badversion.snap");
+  ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[4] = 99;  // version field (bytes 4..7, little-endian)
+  WriteFileBytes(path, bytes);
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, CorruptPayloadFailsCrc) {
+  std::string path = TempPath("corrupt.snap");
+  ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Flip one byte deep inside the first section's payload.
+  size_t victim = 16 + 16 + 100;
+  ASSERT_LT(victim, bytes.size());
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x5A);
+  WriteFileBytes(path, bytes);
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("CRC"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, TruncatedFileIsRejected) {
+  std::string path = TempPath("truncated.snap");
+  ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Cut at several depths: inside the header, inside a section header,
+  // and inside a section payload.
+  for (size_t keep : {size_t{7}, size_t{20}, bytes.size() / 2}) {
+    WriteFileBytes(path, bytes.substr(0, keep));
+    auto loaded = ReadSnapshotFile(path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kOutOfRange)
+        << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, UnfinishedSnapshotIsRejected) {
+  // A writer that never called Finish() leaves section_count = 0.
+  std::string path = TempPath("unfinished.snap");
+  {
+    auto writer = SnapshotWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteCorpus(GetFixture().gc.corpus).ok());
+    // No Finish().
+  }
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("incomplete"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, SectionSizeBeyondFileIsRejected) {
+  std::string path = TempPath("badsize.snap");
+  ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Inflate the first section's payload_size field (offset 16 + 4) to an
+  // absurd value; the reader must reject it before allocating.
+  size_t off = 16 + 4;
+  for (int i = 0; i < 8; ++i) bytes[off + i] = static_cast<char>(0xFF);
+  WriteFileBytes(path, bytes);
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace wikimatch

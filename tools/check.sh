@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): configure, build, run the full test
+# suite. Pass extra CMake flags as arguments, e.g.
+#   tools/check.sh -DWIKIMATCH_SANITIZE=ON
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure -j
