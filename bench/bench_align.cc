@@ -1,0 +1,219 @@
+// Aligner feature-stage benchmark: naive all-pairs cosine loop vs the
+// inverted-index sparse similarity join, single- vs multi-threaded, on a
+// synthetic large-schema type pair (the paper's `settlement`-sized case).
+// Emits one JSON object on stdout so runs are diffable across commits:
+//
+//   {"bench":"align","groups":...,"pairs":...,
+//    "naive_ms":...,"indexed_ms":...,"speedup":...,
+//    "indexed_mt_ms":...,"mt_threads":...,"mt_speedup":...,
+//    "postings_visited":...,"pairs_generated":...,"pairs_pruned":...,
+//    "identical":true,"mt_identical":true}
+//
+// `identical` asserts the indexed path reproduced the naive path's
+// AlignmentResult bit-for-bit; `mt_identical` asserts thread-count
+// invariance. A false value is a correctness regression, not noise.
+//
+// Modes: pass --smoke (or set WIKIMATCH_BENCH_SMOKE=1) for a tiny corpus
+// sanity run wired into tools/check.sh; scale the full run with
+// WIKIMATCH_BENCH_GROUPS (groups per language, default 280).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "match/aligner.h"
+#include "match/schema_builder.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Builds a settlement-sized synthetic TypePairData directly: two languages
+// of `groups_per_lang` attribute groups over a shared (translated) value
+// vocabulary with Zipfian term usage, link vectors over a smaller target
+// space, and enough dual-document overlap for the LSI occurrence matrix.
+match::TypePairData SyntheticSchema(size_t groups_per_lang,
+                                    size_t terms_per_group,
+                                    size_t num_duals, uint64_t seed) {
+  util::Rng rng(seed);
+  match::TypePairData data;
+  data.lang_a = "pt";
+  data.lang_b = "en";
+  data.type_a = "localidade";
+  data.type_b = "settlement";
+  data.num_duals = num_duals;
+
+  const size_t vocab = groups_per_lang * 12;
+  std::vector<uint32_t> term_ids(vocab);
+  for (size_t t = 0; t < vocab; ++t) {
+    term_ids[t] = data.value_terms.GetOrAdd("term_" + std::to_string(t));
+  }
+  const size_t link_space = groups_per_lang * 4;
+
+  for (size_t lang = 0; lang < 2; ++lang) {
+    const std::string language = lang == 0 ? "pt" : "en";
+    for (size_t g = 0; g < groups_per_lang; ++g) {
+      match::AttributeGroup group;
+      group.key.language = language;
+      group.key.name = "attr_" + std::to_string(g);
+      group.occurrences = 20.0 + static_cast<double>(rng.NextBounded(200));
+      // Zipfian terms: frequent terms shared across many groups give the
+      // inverted index realistic long posting lists.
+      for (size_t t = 0; t < terms_per_group; ++t) {
+        uint32_t id = term_ids[rng.NextZipf(vocab, 1.1)];
+        group.values.Add(id, 1.0 + static_cast<double>(rng.NextBounded(5)));
+      }
+      // Roughly half the groups carry enough links to clear the support
+      // floor; targets cluster so cross-language twins stay similar.
+      if (rng.NextBool(0.55)) {
+        size_t links = 4 + rng.NextBounded(12);
+        for (size_t l = 0; l < links; ++l) {
+          group.links.Add(static_cast<uint32_t>(rng.NextZipf(link_space, 1.05)),
+                          1.0 + static_cast<double>(rng.NextBounded(3)));
+        }
+      }
+      size_t docs = 3 + rng.NextBounded(num_duals / 2 + 1);
+      for (size_t d = 0; d < docs; ++d) {
+        group.dual_docs.insert(
+            static_cast<uint32_t>(rng.NextBounded(num_duals)));
+      }
+      data.groups.push_back(std::move(group));
+    }
+  }
+  // Sparse mono-language co-occurrence counts for the grouping scores.
+  const size_t n = data.groups.size();
+  for (size_t e = 0; e < n * 4; ++e) {
+    size_t i = rng.NextBounded(n);
+    size_t j = rng.NextBounded(n);
+    if (i == j) continue;
+    if (data.groups[i].key.language != data.groups[j].key.language) continue;
+    data.co_occur[{std::min(i, j), std::max(i, j)}] +=
+        1.0 + static_cast<double>(rng.NextBounded(8));
+  }
+  return data;
+}
+
+bool SamePairs(const std::vector<match::CandidatePair>& a,
+               const std::vector<match::CandidatePair>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k].i != b[k].i || a[k].j != b[k].j || a[k].vsim != b[k].vsim ||
+        a[k].lsim != b[k].lsim || a[k].lsi != b[k].lsi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameAlignment(const match::AlignmentResult& a,
+                   const match::AlignmentResult& b) {
+  return a.matches.Clusters() == b.matches.Clusters() &&
+         SamePairs(a.processed_order, b.processed_order) &&
+         SamePairs(a.all_pairs, b.all_pairs);
+}
+
+// Best-of-`reps` Align() wall time.
+double TimeAlign(const match::AttributeAligner& aligner,
+                 const match::TypePairData& data, int reps,
+                 match::AlignmentResult* out) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    auto start = Clock::now();
+    auto result = aligner.Align(data);
+    double ms = MsSince(start);
+    if (!result.ok()) {
+      std::fprintf(stderr, "align: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (best < 0.0 || ms < best) best = ms;
+    *out = std::move(result).ValueOrDie();
+  }
+  return best;
+}
+
+int Run(bool smoke) {
+  const char* groups_env = std::getenv("WIKIMATCH_BENCH_GROUPS");
+  size_t groups_per_lang =
+      smoke ? 24
+            : (groups_env != nullptr
+                   ? static_cast<size_t>(std::atol(groups_env))
+                   : 280);
+  if (groups_per_lang < 4) groups_per_lang = 4;
+  const size_t terms_per_group = smoke ? 24 : 160;
+  const size_t num_duals = smoke ? 24 : 96;
+  const int reps = smoke ? 1 : 3;
+
+  match::TypePairData data =
+      SyntheticSchema(groups_per_lang, terms_per_group, num_duals, 0xA11C4);
+
+  match::MatcherConfig config;
+  config.keep_all_pairs = true;  // both paths materialize everything
+  config.lsi.rank = 16;          // keep the shared SVD off the critical path
+
+  match::MatcherConfig naive_config = config;
+  naive_config.use_indexed_join = false;
+  match::MatcherConfig indexed_config = config;
+  match::MatcherConfig indexed_mt_config = config;
+  indexed_mt_config.num_threads = util::DefaultThreads();
+
+  match::AlignmentResult naive_result, indexed_result, mt_result;
+  double naive_ms =
+      TimeAlign(match::AttributeAligner(naive_config), data, reps,
+                &naive_result);
+  double indexed_ms =
+      TimeAlign(match::AttributeAligner(indexed_config), data, reps,
+                &indexed_result);
+  double mt_ms = TimeAlign(match::AttributeAligner(indexed_mt_config), data,
+                           reps, &mt_result);
+
+  bool identical = SameAlignment(naive_result, indexed_result);
+  bool mt_identical = SameAlignment(indexed_result, mt_result);
+
+  const size_t n = data.groups.size();
+  std::printf(
+      "{\"bench\":\"align\",\"smoke\":%s,\"groups\":%zu,\"pairs\":%zu,"
+      "\"naive_ms\":%.3f,\"indexed_ms\":%.3f,\"speedup\":%.2f,"
+      "\"indexed_mt_ms\":%.3f,\"mt_threads\":%zu,\"mt_speedup\":%.2f,"
+      "\"postings_visited\":%zu,\"pairs_generated\":%zu,"
+      "\"pairs_pruned\":%zu,\"lsi_ms\":%.3f,\"feature_ms\":%.3f,"
+      "\"identical\":%s,\"mt_identical\":%s}\n",
+      smoke ? "true" : "false", n, n * (n - 1) / 2, naive_ms, indexed_ms,
+      naive_ms / indexed_ms, mt_ms, util::DefaultThreads(),
+      naive_ms / mt_ms, indexed_result.stats.postings_visited,
+      indexed_result.stats.pairs_generated,
+      indexed_result.stats.pairs_pruned, indexed_result.stats.lsi_ms,
+      indexed_result.stats.feature_ms, identical ? "true" : "false",
+      mt_identical ? "true" : "false");
+  if (!identical || !mt_identical) {
+    std::fprintf(stderr,
+                 "FAIL: indexed join diverged from the naive path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wikimatch
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const char* env = std::getenv("WIKIMATCH_BENCH_SMOKE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') smoke = true;
+  return wikimatch::Run(smoke);
+}

@@ -71,8 +71,10 @@ struct Args {
   double scale = 0.1;
   double synth_scale = 0.0;  // build-snapshot: > 0 uses a generated corpus
   size_t num_threads = 0;    // 0 = command-specific default
+  size_t align_threads = 0;  // 0 = sequential intra-pair alignment
   size_t cache_capacity = 4096;
   bool translate = false;
+  bool print_stats = false;
 };
 
 void Usage() {
@@ -87,6 +89,10 @@ void Usage() {
                "  --tsim / --tlsi <v>    WikiMatch thresholds\n"
                "  --threads <n>          worker threads for per-type "
                "alignment\n"
+               "  --align-threads <n>    worker threads inside one type "
+               "pair's similarity join\n"
+               "  --stats                print pipeline phase timings and "
+               "join counters to stderr\n"
                "  --tsv <path>           write matches as TSV\n"
                "  --save-matches <path>  persist match clusters (match)\n"
                "  --matches <path>       reuse persisted clusters (query)\n"
@@ -153,6 +159,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->num_threads = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--align-threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->align_threads = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--stats") {
+      args->print_stats = true;
     } else if (arg == "--cache-capacity") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -212,10 +224,17 @@ int RunMatch(const Args& args, bool types_only) {
   options.matcher.t_sim = args.t_sim;
   options.matcher.t_lsi = args.t_lsi;
   if (args.num_threads > 0) options.num_threads = args.num_threads;
+  if (args.align_threads > 0) {
+    options.matcher.num_threads = args.align_threads;
+  }
   auto result = pipeline.Run(args.pair_a, args.pair_b, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
+  }
+  if (args.print_stats) {
+    std::fprintf(stderr, "pipeline %s:%s %s\n", args.pair_a.c_str(),
+                 args.pair_b.c_str(), result->stats.ToString().c_str());
   }
 
   std::printf("# entity-type mapping (%s -> %s)\n", args.pair_a.c_str(),
@@ -393,6 +412,9 @@ int RunBuildSnapshot(const Args& args) {
   // deterministic regardless (see PipelineOptions::num_threads).
   options.num_threads =
       args.num_threads > 0 ? args.num_threads : util::DefaultThreads();
+  if (args.align_threads > 0) {
+    options.matcher.num_threads = args.align_threads;
+  }
 
   auto writer = store::SnapshotWriter::Open(args.out_path);
   if (!writer.ok()) {
@@ -415,6 +437,10 @@ int RunBuildSnapshot(const Args& args) {
     std::fprintf(stderr, "pair %s:%s: %zu type matches, %zu aligned types\n",
                  lang_a.c_str(), lang_b.c_str(),
                  result->type_matches.size(), result->per_type.size());
+    if (args.print_stats) {
+      std::fprintf(stderr, "pipeline %s:%s %s\n", lang_a.c_str(),
+                   lang_b.c_str(), result->stats.ToString().c_str());
+    }
     status = writer->WritePipeline(lang_a, lang_b, *result);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());

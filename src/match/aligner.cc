@@ -1,12 +1,39 @@
 #include "match/aligner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 
+#include "match/similarity_join.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace wikimatch {
 namespace match {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void AlignStats::Merge(const AlignStats& other) {
+  groups += other.groups;
+  pairs_total += other.pairs_total;
+  pairs_generated += other.pairs_generated;
+  pairs_pruned += other.pairs_pruned;
+  postings_visited += other.postings_visited;
+  lsi_ms += other.lsi_ms;
+  feature_ms += other.feature_ms;
+  order_ms += other.order_ms;
+  match_ms += other.match_ms;
+  total_ms += other.total_ms;
+}
 
 AttributeAligner::AttributeAligner(MatcherConfig config)
     : config_(std::move(config)) {}
@@ -66,19 +93,12 @@ double AttributeAligner::InductiveGroupingScore(const TypePairData& data,
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-util::Result<AlignmentResult> AttributeAligner::Align(
-    const TypePairData& data) const {
-  AlignmentResult result;
+// The retained reference feature pass: scores every pair by re-walking the
+// groups' sparse vectors. Kept bit-for-bit as the equivalence baseline for
+// the indexed join (tests/align_join_test.cc, bench/bench_align.cc).
+std::vector<CandidatePair> AttributeAligner::NaiveCandidates(
+    const TypePairData& data, const LsiCorrelation& lsi_scores) const {
   const size_t n = data.groups.size();
-  if (n == 0) return result;
-
-  // --- Feature computation ---------------------------------------------------
-  LsiCorrelation lsi_scores;
-  if (config_.use_lsi) {
-    WIKIMATCH_ASSIGN_OR_RETURN(lsi_scores,
-                               LsiCorrelation::Compute(data, config_.lsi));
-  }
-
   std::vector<CandidatePair> pairs;
   pairs.reserve(n * (n - 1) / 2);
   for (size_t i = 0; i < n; ++i) {
@@ -101,12 +121,122 @@ util::Result<AlignmentResult> AttributeAligner::Align(
       pairs.push_back(p);
     }
   }
+  return pairs;
+}
 
+// Inverted-index feature pass: one pass over posting lists per group row,
+// LSI scored row-by-row, rows sharded across worker threads and merged in
+// group order (deterministic for any thread count). Unless keep_all_pairs
+// forces full materialization, a pair is only emitted when its similarity
+// is nonzero or the LSI ordering still needs it (lsi > t_lsi admits it to
+// the queue even with zero direct evidence — such pairs can shift the
+// random_order shuffle and, when t_revise_min_sim admits them, reach
+// ReviseUncertain).
+std::vector<CandidatePair> AttributeAligner::IndexedCandidates(
+    const TypePairData& data, const LsiCorrelation& lsi_scores,
+    AlignStats* stats) const {
+  const size_t n = data.groups.size();
+  SimilarityJoinOptions jopts;
+  jopts.use_vsim = config_.use_vsim;
+  jopts.use_lsim = config_.use_lsim;
+  jopts.min_link_support = config_.min_link_support;
+  SimilarityJoinIndex index(data, jopts);
+
+  const bool need_all = config_.keep_all_pairs;
+  std::vector<std::vector<CandidatePair>> rows(n);
+  std::atomic<size_t> postings_visited{0};
+  util::ParallelFor(n, config_.num_threads, [&](size_t i) {
+    // Per-OS-thread accumulators; each row runs entirely on one worker, so
+    // reuse across rows (and across Align calls) is safe and keeps the
+    // reset cost proportional to the row's nonzero count.
+    thread_local SimilarityJoinIndex::Scratch scratch;
+    thread_local std::vector<SimilarityEntry> sparse_row;
+    size_t visited_before = scratch.postings_visited();
+    std::vector<CandidatePair>& out = rows[i];
+    if (need_all || config_.use_lsi) {
+      sparse_row.clear();
+      index.ForEachNonZero(i, &scratch, [&](const SimilarityEntry& e) {
+        sparse_row.push_back(e);
+      });
+      size_t k = 0;
+      for (size_t j = i + 1; j < n; ++j) {
+        CandidatePair p;
+        p.i = i;
+        p.j = j;
+        if (k < sparse_row.size() && sparse_row[k].j == j) {
+          p.vsim = sparse_row[k].vsim;
+          p.lsim = sparse_row[k].lsim;
+          ++k;
+        }
+        p.lsi = config_.use_lsi ? lsi_scores.Score(i, j) : 0.0;
+        if (!need_all && p.vsim == 0.0 && p.lsim == 0.0 &&
+            !(config_.use_lsi && p.lsi > config_.t_lsi)) {
+          continue;
+        }
+        out.push_back(p);
+      }
+    } else {
+      // No LSI and no all-pairs retention: only nonzero-similarity pairs
+      // can ever enter the queue, so walk just the sparse row.
+      index.ForEachNonZero(i, &scratch, [&](const SimilarityEntry& e) {
+        CandidatePair p;
+        p.i = i;
+        p.j = e.j;
+        p.vsim = e.vsim;
+        p.lsim = e.lsim;
+        out.push_back(p);
+      });
+    }
+    postings_visited.fetch_add(scratch.postings_visited() - visited_before,
+                               std::memory_order_relaxed);
+  });
+
+  size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(total);
+  for (auto& row : rows) {
+    pairs.insert(pairs.end(), row.begin(), row.end());
+  }
+  stats->postings_visited = postings_visited.load();
+  return pairs;
+}
+
+util::Result<AlignmentResult> AttributeAligner::Align(
+    const TypePairData& data) const {
+  Clock::time_point align_start = Clock::now();
+  AlignmentResult result;
+  const size_t n = data.groups.size();
+  if (n == 0) return result;
+  result.stats.groups = n;
+  result.stats.pairs_total = n * (n - 1) / 2;
+
+  // --- Feature computation ---------------------------------------------------
+  Clock::time_point phase_start = Clock::now();
+  LsiCorrelation lsi_scores;
+  if (config_.use_lsi) {
+    WIKIMATCH_ASSIGN_OR_RETURN(lsi_scores,
+                               LsiCorrelation::Compute(data, config_.lsi));
+  }
+  result.stats.lsi_ms = MsSince(phase_start);
+
+  phase_start = Clock::now();
+  std::vector<CandidatePair> pairs =
+      config_.use_indexed_join
+          ? IndexedCandidates(data, lsi_scores, &result.stats)
+          : NaiveCandidates(data, lsi_scores);
+  result.stats.pairs_generated = pairs.size();
+  result.stats.pairs_pruned = result.stats.pairs_total - pairs.size();
+  result.stats.feature_ms = MsSince(phase_start);
+
+  phase_start = Clock::now();
   auto order_key = [&](const CandidatePair& p) {
     return config_.use_lsi ? p.lsi : std::max(p.vsim, p.lsim);
   };
   // Order by correlation, breaking ties (frequent at small sample sizes,
   // where many LSI scores saturate) by the strongest direct evidence.
+  // Candidates enter lexicographically ordered, so the stable sort yields
+  // the same sequence whether or not zero-score pairs were pruned.
   std::stable_sort(pairs.begin(), pairs.end(),
                    [&](const CandidatePair& x, const CandidatePair& y) {
                      double kx = order_key(x);
@@ -115,7 +245,9 @@ util::Result<AlignmentResult> AttributeAligner::Align(
                      return std::max(x.vsim, x.lsim) >
                             std::max(y.vsim, y.lsim);
                    });
-  result.all_pairs = pairs;
+  if (config_.keep_all_pairs) result.all_pairs = pairs;
+  result.stats.order_ms = MsSince(phase_start);
+  phase_start = Clock::now();
 
   // --- WikiMatch single step: no queue, no constraints, no revision ----------
   if (config_.single_step) {
@@ -125,6 +257,8 @@ util::Result<AlignmentResult> AttributeAligner::Align(
         result.processed_order.push_back(p);
       }
     }
+    result.stats.match_ms = MsSince(phase_start);
+    result.stats.total_ms = MsSince(align_start);
     return result;
   }
 
@@ -205,6 +339,8 @@ util::Result<AlignmentResult> AttributeAligner::Align(
     }
   }
 
+  result.stats.match_ms = MsSince(phase_start);
+  result.stats.total_ms = MsSince(align_start);
   return result;
 }
 

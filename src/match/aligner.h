@@ -11,6 +11,7 @@
 #ifndef WIKIMATCH_MATCH_ALIGNER_H_
 #define WIKIMATCH_MATCH_ALIGNER_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "eval/match_set.h"
@@ -66,6 +67,39 @@ struct MatcherConfig {
   bool single_step = false;
   /// Seed for random_order.
   uint64_t random_seed = 0x5EED;
+
+  // --- Execution switches (docs/PERFORMANCE.md) -----------------------------
+  /// Score pair features through the inverted-index sparse similarity join
+  /// instead of the O(n²) all-pairs cosine loop. Output is bit-identical;
+  /// the naive path is retained for equivalence tests and benchmarks.
+  bool use_indexed_join = true;
+  /// Retain AlignmentResult::all_pairs (the full O(n²) scored list needed
+  /// by MAP and threshold studies). The pipeline turns this off by default:
+  /// large schemas otherwise balloon memory and snapshot size, and the
+  /// indexed join can then skip materializing zero-similarity pairs whose
+  /// LSI correlation is below t_lsi.
+  bool keep_all_pairs = true;
+  /// Worker threads for the feature join and LSI scoring *within* one
+  /// Align() call (1 or 0 = sequential). Results are identical for any
+  /// value: rows are sharded by group and merged in group order.
+  size_t num_threads = 1;
+};
+
+/// \brief Counters and per-phase wall times of one Align() call.
+struct AlignStats {
+  size_t groups = 0;           ///< attribute groups (both languages)
+  size_t pairs_total = 0;      ///< n·(n−1)/2 candidate universe
+  size_t pairs_generated = 0;  ///< pairs actually materialized
+  size_t pairs_pruned = 0;     ///< pairs_total − pairs_generated
+  size_t postings_visited = 0; ///< posting-list entries touched by the join
+  double lsi_ms = 0.0;         ///< truncated SVD + correlation cache
+  double feature_ms = 0.0;     ///< similarity join + candidate assembly
+  double order_ms = 0.0;       ///< candidate ordering sort
+  double match_ms = 0.0;       ///< queue, IntegrateMatches, ReviseUncertain
+  double total_ms = 0.0;
+
+  /// \brief Accumulates another run's counters and times into this one.
+  void Merge(const AlignStats& other);
 };
 
 /// \brief One scored candidate pair.
@@ -85,8 +119,12 @@ struct AlignmentResult {
   /// algorithm processed them.
   std::vector<CandidatePair> processed_order;
   /// All pairs with their scores regardless of admission, sorted by the
-  /// ordering criterion (LSI by default).
+  /// ordering criterion (LSI by default). Empty unless
+  /// MatcherConfig::keep_all_pairs is set.
   std::vector<CandidatePair> all_pairs;
+  /// Execution counters and timings (not part of the algorithm's output;
+  /// never serialized per alignment — the pipeline aggregates them).
+  AlignStats stats;
 };
 
 /// \brief The WikiMatch attribute aligner.
@@ -114,6 +152,15 @@ class AttributeAligner {
                                        size_t i, size_t j);
 
  private:
+  /// Reference all-pairs feature pass (use_indexed_join = false).
+  std::vector<CandidatePair> NaiveCandidates(
+      const TypePairData& data, const LsiCorrelation& lsi_scores) const;
+
+  /// Inverted-index feature pass; fills join counters into `stats`.
+  std::vector<CandidatePair> IndexedCandidates(
+      const TypePairData& data, const LsiCorrelation& lsi_scores,
+      AlignStats* stats) const;
+
   MatcherConfig config_;
 };
 

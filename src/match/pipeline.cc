@@ -1,12 +1,38 @@
 #include "match/pipeline.h"
 
+#include <chrono>
 #include <optional>
+#include <sstream>
 
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace wikimatch {
 namespace match {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string PipelineStats::ToString() const {
+  std::ostringstream os;
+  os << "type_pairs=" << type_pairs << " groups=" << align.groups
+     << " pairs_total=" << align.pairs_total
+     << " pairs_generated=" << align.pairs_generated
+     << " pairs_pruned=" << align.pairs_pruned
+     << " postings_visited=" << align.postings_visited
+     << " type_match_ms=" << type_match_ms << " schema_ms=" << schema_ms
+     << " lsi_ms=" << align.lsi_ms << " feature_ms=" << align.feature_ms
+     << " order_ms=" << align.order_ms << " match_ms=" << align.match_ms
+     << " align_ms=" << align.total_ms << " total_ms=" << total_ms;
+  return os.str();
+}
 
 const TypePairResult* PipelineResult::FindByTypeB(
     const std::string& type_b) const {
@@ -31,21 +57,27 @@ util::Result<TypePairData> MatchPipeline::BuildPair(
 util::Result<PipelineResult> MatchPipeline::Run(
     const std::string& lang_a, const std::string& lang_b,
     const PipelineOptions& options) const {
+  Clock::time_point run_start = Clock::now();
   PipelineResult out;
   TypeMatcher type_matcher(options.type_min_votes,
                            options.type_min_confidence);
   out.type_matches = type_matcher.Match(*corpus_, lang_a, lang_b);
+  out.stats.type_match_ms = MsSince(run_start);
 
   AttributeAligner aligner(options.matcher);
   // Type pairs are independent: build and align each into its own slot so
-  // parallel execution keeps deterministic output order.
+  // parallel execution keeps deterministic output order. Per-slot timings
+  // are summed after the join (workers never touch shared stats).
   std::vector<std::optional<TypePairResult>> slots(out.type_matches.size());
   std::vector<util::Status> errors(out.type_matches.size());
+  std::vector<double> schema_ms(out.type_matches.size(), 0.0);
   util::ParallelFor(
       out.type_matches.size(), options.num_threads, [&](size_t i) {
         const TypeMatch& tm = out.type_matches[i];
+        Clock::time_point build_start = Clock::now();
         auto data = BuildPair(lang_a, tm.type_a, lang_b, tm.type_b,
                               options.schema);
+        schema_ms[i] = MsSince(build_start);
         if (!data.ok()) {
           WIKIMATCH_LOG(Warning)
               << "skipping type pair " << tm.type_a << "/" << tm.type_b
@@ -67,10 +99,14 @@ util::Result<PipelineResult> MatchPipeline::Run(
       });
   for (size_t i = 0; i < slots.size(); ++i) {
     if (!errors[i].ok()) return errors[i];
+    out.stats.schema_ms += schema_ms[i];
     if (slots[i].has_value()) {
+      ++out.stats.type_pairs;
+      out.stats.align.Merge(slots[i]->alignment.stats);
       out.per_type.push_back(std::move(*slots[i]));
     }
   }
+  out.stats.total_ms = MsSince(run_start);
   return out;
 }
 

@@ -17,16 +17,44 @@
 namespace wikimatch {
 namespace match {
 
+/// \brief The pipeline's default matcher config: identical to the paper
+/// defaults except that the full O(n²) scored-pair list is not retained
+/// (MatcherConfig::keep_all_pairs) — evaluation drivers that need it for
+/// MAP/threshold studies call AttributeAligner directly.
+inline MatcherConfig DefaultPipelineMatcherConfig() {
+  MatcherConfig config;
+  config.keep_all_pairs = false;
+  return config;
+}
+
 /// \brief Pipeline configuration.
 struct PipelineOptions {
-  MatcherConfig matcher;
+  MatcherConfig matcher = DefaultPipelineMatcherConfig();
   SchemaBuilderOptions schema;
   /// Type-matching thresholds (Section 3.1).
   size_t type_min_votes = 2;
   double type_min_confidence = 0.5;
   /// Worker threads for per-type alignment (type pairs are independent);
   /// 1 = sequential. Results are deterministic regardless of this value.
+  /// Intra-pair parallelism (the feature join of one large type pair) is
+  /// controlled separately by matcher.num_threads.
   size_t num_threads = 1;
+};
+
+/// \brief Per-phase wall times and work counters of one pipeline run.
+/// Alignment counters are exact sums over type pairs; the per-phase times
+/// are summed across (possibly concurrent) workers, so with num_threads >
+/// 1 they measure aggregate work, not elapsed wall clock — total_ms is the
+/// run's true elapsed time.
+struct PipelineStats {
+  double type_match_ms = 0.0;  ///< cross-language entity-type matching
+  double schema_ms = 0.0;      ///< BuildTypePairData across type pairs
+  double total_ms = 0.0;       ///< whole Run() wall clock
+  size_t type_pairs = 0;       ///< aligned type pairs
+  AlignStats align;            ///< aggregated AttributeAligner stats
+
+  /// \brief One-line key=value rendering (CLI stderr, serve stats verb).
+  std::string ToString() const;
 };
 
 /// \brief Alignment output for one matched type pair.
@@ -42,6 +70,9 @@ struct TypePairResult {
 struct PipelineResult {
   std::vector<TypeMatch> type_matches;
   std::vector<TypePairResult> per_type;
+  /// Execution stats of the run that produced this result (persisted in
+  /// snapshots so the serve `stats` verb can report build-time figures).
+  PipelineStats stats;
 
   /// \brief The result for localized type `type_b` (hub side), or nullptr.
   const TypePairResult* FindByTypeB(const std::string& type_b) const;

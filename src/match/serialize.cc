@@ -58,6 +58,51 @@ util::Result<eval::AttrFrequencies> DecodeFrequencies(
   return freq;
 }
 
+void EncodePipelineStats(const PipelineStats& stats, util::BinaryWriter* w) {
+  // Wall times are written as zero: snapshots must stay byte-identical for
+  // the same inputs regardless of machine or thread count, so only the
+  // deterministic join counters are persisted.
+  w->PutDouble(0.0);
+  w->PutDouble(0.0);
+  w->PutDouble(0.0);
+  w->PutU64(stats.type_pairs);
+  w->PutU64(stats.align.groups);
+  w->PutU64(stats.align.pairs_total);
+  w->PutU64(stats.align.pairs_generated);
+  w->PutU64(stats.align.pairs_pruned);
+  w->PutU64(stats.align.postings_visited);
+  w->PutDouble(0.0);
+  w->PutDouble(0.0);
+  w->PutDouble(0.0);
+  w->PutDouble(0.0);
+  w->PutDouble(0.0);
+}
+
+util::Result<PipelineStats> DecodePipelineStats(util::BinaryReader* r) {
+  PipelineStats stats;
+  WIKIMATCH_ASSIGN_OR_RETURN(stats.type_match_ms, r->ReadDouble());
+  WIKIMATCH_ASSIGN_OR_RETURN(stats.schema_ms, r->ReadDouble());
+  WIKIMATCH_ASSIGN_OR_RETURN(stats.total_ms, r->ReadDouble());
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t type_pairs, r->ReadU64());
+  stats.type_pairs = type_pairs;
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t groups, r->ReadU64());
+  stats.align.groups = groups;
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t pairs_total, r->ReadU64());
+  stats.align.pairs_total = pairs_total;
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t pairs_generated, r->ReadU64());
+  stats.align.pairs_generated = pairs_generated;
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t pairs_pruned, r->ReadU64());
+  stats.align.pairs_pruned = pairs_pruned;
+  WIKIMATCH_ASSIGN_OR_RETURN(uint64_t postings_visited, r->ReadU64());
+  stats.align.postings_visited = postings_visited;
+  WIKIMATCH_ASSIGN_OR_RETURN(stats.align.lsi_ms, r->ReadDouble());
+  WIKIMATCH_ASSIGN_OR_RETURN(stats.align.feature_ms, r->ReadDouble());
+  WIKIMATCH_ASSIGN_OR_RETURN(stats.align.order_ms, r->ReadDouble());
+  WIKIMATCH_ASSIGN_OR_RETURN(stats.align.match_ms, r->ReadDouble());
+  WIKIMATCH_ASSIGN_OR_RETURN(stats.align.total_ms, r->ReadDouble());
+  return stats;
+}
+
 util::Result<TypePairResult> DecodeTypePairResult(util::BinaryReader* r) {
   TypePairResult result;
   WIKIMATCH_ASSIGN_OR_RETURN(result.type_a, r->ReadString());
@@ -198,6 +243,9 @@ void EncodePipelineResult(const PipelineResult& result,
     EncodeAlignmentResult(tr.alignment, w);
     EncodeFrequencies(tr.frequencies, w);
   }
+  // Appended after the v1 payload so snapshots written before stats existed
+  // still decode (the reader checks AtEnd before reading them).
+  EncodePipelineStats(result.stats, w);
 }
 
 util::Result<PipelineResult> DecodePipelineResult(util::BinaryReader* r) {
@@ -219,6 +267,11 @@ util::Result<PipelineResult> DecodePipelineResult(util::BinaryReader* r) {
     auto tr = DecodeTypePairResult(r);
     if (!tr.ok()) return tr.status();
     result.per_type.push_back(std::move(tr).ValueOrDie());
+  }
+  if (!r->AtEnd()) {
+    auto stats = DecodePipelineStats(r);
+    if (!stats.ok()) return stats.status();
+    result.stats = std::move(stats).ValueOrDie();
   }
   return result;
 }

@@ -1,0 +1,114 @@
+#include "match/similarity_join.h"
+
+#include <algorithm>
+
+namespace wikimatch {
+namespace match {
+
+void SimilarityJoinIndex::Scratch::Prepare(size_t n) {
+  if (vdot_.size() < n) {
+    vdot_.resize(n, 0.0);
+    ldot_.resize(n, 0.0);
+    seen_.resize(n, 0);
+  }
+  touched_.clear();
+}
+
+SimilarityJoinIndex::SimilarityJoinIndex(const TypePairData& data,
+                                         const SimilarityJoinOptions& options)
+    : data_(&data), options_(options), num_groups_(data.groups.size()) {
+  value_norm_.resize(num_groups_, 0.0);
+  link_norm_.resize(num_groups_, 0.0);
+  link_supported_.resize(num_groups_, 0);
+  if (options_.use_vsim) value_postings_.resize(data.value_terms.size());
+
+  for (size_t i = 0; i < num_groups_; ++i) {
+    const AttributeGroup& g = data.groups[i];
+    value_norm_[i] = g.values.Norm();
+    link_norm_[i] = g.links.Norm();
+    link_supported_[i] =
+        g.links.Sum() >= options_.min_link_support * g.occurrences ? 1 : 0;
+    if (options_.use_vsim) {
+      for (const auto& [id, w] : g.values.entries()) {
+        // Ids come from data.value_terms, so they are < size(); guard
+        // anyway for hand-built TypePairData in tests.
+        if (id >= value_postings_.size()) value_postings_.resize(id + 1);
+        value_postings_[id].push_back({static_cast<uint32_t>(i), w});
+        ++num_postings_;
+      }
+    }
+    if (options_.use_lsim && link_supported_[i]) {
+      for (const auto& [id, w] : g.links.entries()) {
+        link_postings_[id].push_back({static_cast<uint32_t>(i), w});
+        ++num_postings_;
+      }
+    }
+  }
+}
+
+void SimilarityJoinIndex::ForEachNonZero(
+    size_t i, Scratch* scratch,
+    const std::function<void(const SimilarityEntry&)>& emit) const {
+  scratch->Prepare(num_groups_);
+  const AttributeGroup& g = data_->groups[i];
+
+  // Accumulates w_i · w_j for every posting partner j > i of one feature.
+  // The outer iteration follows the group's own std::map (ascending term
+  // id), so for a fixed pair the additions happen in exactly the order
+  // SparseVector::Dot visits the shared terms.
+  auto accumulate = [&](const la::SparseVector& vec, auto lookup,
+                        std::vector<double>* dot) {
+    for (const auto& [id, w] : vec.entries()) {
+      const PostingList* postings = lookup(id);
+      if (postings == nullptr) continue;
+      // Postings are appended in ascending group order; skip to j > i.
+      auto first = std::upper_bound(
+          postings->begin(), postings->end(), static_cast<uint32_t>(i),
+          [](uint32_t value, const Posting& p) { return value < p.group; });
+      for (auto it = first; it != postings->end(); ++it) {
+        if (!scratch->seen_[it->group]) {
+          scratch->seen_[it->group] = 1;
+          scratch->touched_.push_back(it->group);
+        }
+        (*dot)[it->group] += w * it->weight;
+        ++scratch->postings_visited_;
+      }
+    }
+  };
+
+  if (options_.use_vsim) {
+    accumulate(g.values,
+               [&](uint32_t id) -> const PostingList* {
+                 return id < value_postings_.size() ? &value_postings_[id]
+                                                    : nullptr;
+               },
+               &scratch->vdot_);
+  }
+  if (options_.use_lsim && link_supported_[i]) {
+    accumulate(g.links,
+               [&](uint32_t id) -> const PostingList* {
+                 auto it = link_postings_.find(id);
+                 return it == link_postings_.end() ? nullptr : &it->second;
+               },
+               &scratch->ldot_);
+  }
+
+  std::sort(scratch->touched_.begin(), scratch->touched_.end());
+  for (uint32_t j : scratch->touched_) {
+    SimilarityEntry entry;
+    entry.j = j;
+    double vdot = scratch->vdot_[j];
+    double ldot = scratch->ldot_[j];
+    // Same expression shape as SparseVector::Cosine (dot / (na * nb)), so
+    // the result is bit-identical to the naive pairwise evaluation.
+    if (vdot != 0.0) entry.vsim = vdot / (value_norm_[i] * value_norm_[j]);
+    if (ldot != 0.0) entry.lsim = ldot / (link_norm_[i] * link_norm_[j]);
+    scratch->vdot_[j] = 0.0;
+    scratch->ldot_[j] = 0.0;
+    scratch->seen_[j] = 0;
+    if (entry.vsim != 0.0 || entry.lsim != 0.0) emit(entry);
+  }
+}
+
+}  // namespace match
+}  // namespace wikimatch

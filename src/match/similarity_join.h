@@ -1,0 +1,120 @@
+// Sparse similarity join for the aligner feature stage (Section 3.2).
+//
+// The naive feature pass scores every cross-product pair of attribute
+// groups by re-walking both groups' map-backed sparse vectors — an
+// O(n² · k) scan that recomputes norms, sums, and link-support flags for
+// every pair. SimilarityJoinIndex builds, once per TypePairData:
+//
+//   * an inverted index term-id -> posting list of (group, weight) for the
+//     value vectors and for the link-structure vectors (the latter only
+//     over groups that clear the link-support floor), and
+//   * per-group caches of the vector norms, link sums, and support flags,
+//
+// so that all nonzero vsim/lsim dot products of one group row are
+// accumulated in a single pass over the row's posting lists. Pairs whose
+// value *and* link similarity are exactly zero are never visited.
+//
+// Equivalence guarantee: for every pair the accumulated cosine is
+// bit-identical to SparseVector::Cosine — contributions are added in
+// ascending term-id order (the same order Dot() visits shared terms, and
+// IEEE multiplication is commutative), and the final division uses the
+// same norm product. tests/align_join_test.cc asserts this end to end.
+//
+// Thread safety: a built index is immutable; concurrent callers pass their
+// own Scratch, so row accumulation parallelizes by group row with no
+// shared mutable state.
+
+#ifndef WIKIMATCH_MATCH_SIMILARITY_JOIN_H_
+#define WIKIMATCH_MATCH_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "match/schema_builder.h"
+
+namespace wikimatch {
+namespace match {
+
+/// \brief Feature switches mirrored from MatcherConfig (kept separate so
+/// the join does not depend on the aligner header).
+struct SimilarityJoinOptions {
+  bool use_vsim = true;
+  bool use_lsim = true;
+  /// Link-structure support floor (MatcherConfig::min_link_support).
+  double min_link_support = 0.05;
+};
+
+/// \brief One nonzero similarity entry of a group row.
+struct SimilarityEntry {
+  uint32_t j = 0;  ///< partner group index (always > the row index)
+  double vsim = 0.0;
+  double lsim = 0.0;
+};
+
+/// \brief Inverted-index join over one TypePairData's attribute groups.
+class SimilarityJoinIndex {
+ public:
+  /// \brief Per-thread accumulation state. Reusable across rows and across
+  /// ForEachNonZero calls; grows to the largest group count seen.
+  class Scratch {
+   public:
+    size_t postings_visited() const { return postings_visited_; }
+
+   private:
+    friend class SimilarityJoinIndex;
+    void Prepare(size_t n);
+
+    std::vector<double> vdot_;
+    std::vector<double> ldot_;
+    std::vector<uint8_t> seen_;
+    std::vector<uint32_t> touched_;
+    size_t postings_visited_ = 0;
+  };
+
+  SimilarityJoinIndex(const TypePairData& data,
+                      const SimilarityJoinOptions& options);
+
+  /// \brief Emits every pair (i, j), j > i, whose vsim or lsim is nonzero,
+  /// in ascending j order. `emit(entry)` similarities are bit-identical to
+  /// the pairwise SparseVector::Cosine values the naive path computes.
+  void ForEachNonZero(
+      size_t i, Scratch* scratch,
+      const std::function<void(const SimilarityEntry&)>& emit) const;
+
+  /// \brief Cached link-support flag of group `i` (links.Sum() clears
+  /// min_link_support · occurrences).
+  bool link_supported(size_t i) const { return link_supported_[i] != 0; }
+
+  /// \brief Total posting-list entries across both indexes.
+  size_t num_postings() const { return num_postings_; }
+
+  size_t num_groups() const { return num_groups_; }
+
+ private:
+  struct Posting {
+    uint32_t group;
+    double weight;
+  };
+  using PostingList = std::vector<Posting>;
+
+  const TypePairData* data_;
+  SimilarityJoinOptions options_;
+  size_t num_groups_ = 0;
+  size_t num_postings_ = 0;
+
+  // Value postings are dense in the shared value-term space; link postings
+  // are keyed by corpus-level canonical target ids, which are sparse.
+  std::vector<PostingList> value_postings_;
+  std::unordered_map<uint32_t, PostingList> link_postings_;
+
+  std::vector<double> value_norm_;
+  std::vector<double> link_norm_;
+  std::vector<uint8_t> link_supported_;
+};
+
+}  // namespace match
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_MATCH_SIMILARITY_JOIN_H_

@@ -233,7 +233,14 @@ std::string MatchService::Dispatch(const std::string& line,
        << " cache_evictions=" << stats.cache.evictions
        << " cache_entries=" << stats.cache.entries
        << " cache_capacity=" << stats.cache.capacity;
-    return RenderOk({os.str()});
+    std::vector<std::string> lines = {os.str()};
+    // Build-time pipeline stats travel inside the snapshot; absent (all
+    // zero) for snapshots written before they were recorded.
+    for (const auto& [pair, serving] : pairs_) {
+      lines.push_back("pipeline " + pair.first + ":" + pair.second + " " +
+                      serving.result->stats.ToString());
+    }
+    return RenderOk(lines);
   }
   if (command == "pairs") {
     std::vector<std::string> lines;

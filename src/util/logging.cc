@@ -3,12 +3,23 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace wikimatch {
 namespace util {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+// Serializes stderr emission: log statements run concurrently inside
+// ParallelFor workers (e.g. the pipeline's per-type alignment), and
+// unsynchronized fputs calls interleave or tear lines. Each statement is
+// formatted into its own buffer first, so the lock is held only for the
+// single write.
+std::mutex& EmitMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -51,7 +62,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }
 

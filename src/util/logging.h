@@ -4,6 +4,10 @@
 //
 // The minimum emitted level defaults to WARNING (quiet libraries) and can be
 // changed globally, e.g. by benchmark drivers that want progress output.
+//
+// Thread-safe: each statement is formatted into its own buffer and emitted
+// to stderr as one write under a process-wide mutex, so statements from
+// concurrent workers (util::ParallelFor) never interleave or tear.
 
 #ifndef WIKIMATCH_UTIL_LOGGING_H_
 #define WIKIMATCH_UTIL_LOGGING_H_

@@ -1,14 +1,22 @@
 // Minimal parallel-for over an index range: fixed worker threads pulling
 // indexes from an atomic counter. Used by the pipeline to align independent
-// type pairs concurrently; results are written to pre-sized slots so output
+// type pairs concurrently and by the aligner's similarity join to shard one
+// type pair by group row; results are written to pre-sized slots so output
 // order stays deterministic regardless of scheduling.
+//
+// Exception safety: a throw from `fn` no longer reaches std::terminate via
+// the raw worker threads. The first exception (in completion order) is
+// captured, remaining workers stop handing out new indexes, every worker is
+// joined, and the exception is rethrown on the calling thread.
 
 #ifndef WIKIMATCH_UTIL_PARALLEL_H_
 #define WIKIMATCH_UTIL_PARALLEL_H_
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,7 +27,10 @@ namespace util {
 /// worker threads (1 or 0 = run inline on the calling thread).
 ///
 /// `fn` must be safe to call concurrently for distinct indexes. Blocks
-/// until all invocations finish.
+/// until all invocations finish. If any invocation throws, the first
+/// captured exception is rethrown on the calling thread after all workers
+/// have joined; indexes not yet started when the exception is captured may
+/// never run.
 inline void ParallelFor(size_t n, size_t threads,
                         const std::function<void(size_t)>& fn) {
   if (n == 0) return;
@@ -29,18 +40,30 @@ inline void ParallelFor(size_t n, size_t threads,
   }
   threads = std::min(threads, n);
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
     workers.emplace_back([&]() {
-      while (true) {
+      while (!failed.load(std::memory_order_relaxed)) {
         size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (auto& worker : workers) worker.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 /// \brief A reasonable default worker count.

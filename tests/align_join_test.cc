@@ -1,0 +1,218 @@
+// Equivalence tests for the inverted-index similarity join: the indexed
+// aligner feature stage must produce bit-identical AlignmentResults to the
+// retained naive all-pairs path — same matches, same processed order, same
+// scores — for every ablation configuration, any thread count, and with
+// zero-pair pruning enabled.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "match/aligner.h"
+#include "match/pipeline.h"
+#include "match/similarity_join.h"
+#include "synth/generator.h"
+
+namespace wikimatch {
+namespace {
+
+void ExpectSamePairs(const std::vector<match::CandidatePair>& a,
+                     const std::vector<match::CandidatePair>& b,
+                     const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].i, b[k].i) << what << " entry " << k;
+    EXPECT_EQ(a[k].j, b[k].j) << what << " entry " << k;
+    // Bit-identical, not approximately equal: the join accumulates each
+    // dot product in the same order SparseVector::Dot does.
+    EXPECT_EQ(a[k].vsim, b[k].vsim) << what << " entry " << k;
+    EXPECT_EQ(a[k].lsim, b[k].lsim) << what << " entry " << k;
+    EXPECT_EQ(a[k].lsi, b[k].lsi) << what << " entry " << k;
+  }
+}
+
+void ExpectSameAlignment(const match::AlignmentResult& a,
+                         const match::AlignmentResult& b) {
+  EXPECT_EQ(a.matches.Clusters(), b.matches.Clusters());
+  ExpectSamePairs(a.processed_order, b.processed_order, "processed_order");
+  ExpectSamePairs(a.all_pairs, b.all_pairs, "all_pairs");
+}
+
+class AlignJoinTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny(1234));
+    auto g = generator.Generate();
+    ASSERT_TRUE(g.ok());
+    gc_ = new synth::GeneratedCorpus(std::move(g).ValueOrDie());
+    pipeline_ = new match::MatchPipeline(&gc_->corpus);
+    auto data = pipeline_->BuildPair("pt", "filme", "en", "film");
+    ASSERT_TRUE(data.ok());
+    data_ = new match::TypePairData(std::move(data).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete pipeline_;
+    delete gc_;
+    data_ = nullptr;
+    pipeline_ = nullptr;
+    gc_ = nullptr;
+  }
+
+  static match::AlignmentResult Run(match::MatcherConfig config,
+                                    bool indexed) {
+    config.use_indexed_join = indexed;
+    match::AttributeAligner aligner(config);
+    auto result = aligner.Align(*data_);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).ValueOrDie();
+  }
+
+  static synth::GeneratedCorpus* gc_;
+  static match::MatchPipeline* pipeline_;
+  static match::TypePairData* data_;
+};
+
+synth::GeneratedCorpus* AlignJoinTest::gc_ = nullptr;
+match::MatchPipeline* AlignJoinTest::pipeline_ = nullptr;
+match::TypePairData* AlignJoinTest::data_ = nullptr;
+
+TEST_F(AlignJoinTest, IndexedMatchesNaiveBitIdentical) {
+  match::MatcherConfig config;
+  config.keep_all_pairs = true;
+  ExpectSameAlignment(Run(config, false), Run(config, true));
+}
+
+TEST_F(AlignJoinTest, EquivalentUnderEveryAblation) {
+  std::vector<match::MatcherConfig> configs;
+  {
+    match::MatcherConfig c;
+    c.use_vsim = false;
+    configs.push_back(c);
+  }
+  {
+    match::MatcherConfig c;
+    c.use_lsim = false;
+    configs.push_back(c);
+  }
+  {
+    match::MatcherConfig c;
+    c.use_lsi = false;
+    configs.push_back(c);
+  }
+  {
+    match::MatcherConfig c;
+    c.single_step = true;
+    configs.push_back(c);
+  }
+  {
+    match::MatcherConfig c;
+    c.random_order = true;
+    configs.push_back(c);
+  }
+  {
+    match::MatcherConfig c;
+    c.use_revise_uncertain = false;
+    configs.push_back(c);
+  }
+  {
+    match::MatcherConfig c;
+    c.min_link_support = 0.0;
+    c.t_revise_min_sim = 0.0;
+    configs.push_back(c);
+  }
+  for (size_t k = 0; k < configs.size(); ++k) {
+    SCOPED_TRACE("config " + std::to_string(k));
+    configs[k].keep_all_pairs = true;
+    ExpectSameAlignment(Run(configs[k], false), Run(configs[k], true));
+  }
+}
+
+TEST_F(AlignJoinTest, PruningPreservesMatchesAndProcessedOrder) {
+  match::MatcherConfig naive_config;
+  naive_config.keep_all_pairs = true;
+  match::AlignmentResult naive = Run(naive_config, false);
+
+  match::MatcherConfig pruned_config;
+  pruned_config.keep_all_pairs = false;
+  match::AlignmentResult pruned = Run(pruned_config, true);
+
+  EXPECT_EQ(naive.matches.Clusters(), pruned.matches.Clusters());
+  ExpectSamePairs(naive.processed_order, pruned.processed_order,
+                  "processed_order");
+  EXPECT_TRUE(pruned.all_pairs.empty());
+  EXPECT_EQ(pruned.stats.pairs_generated + pruned.stats.pairs_pruned,
+            pruned.stats.pairs_total);
+}
+
+TEST_F(AlignJoinTest, ThreadCountInvariant) {
+  match::MatcherConfig config;
+  config.keep_all_pairs = true;
+  match::MatcherConfig threaded = config;
+  threaded.num_threads = 8;
+  ExpectSameAlignment(Run(config, true), Run(threaded, true));
+}
+
+TEST_F(AlignJoinTest, StatsAreCoherent) {
+  match::MatcherConfig config;
+  config.keep_all_pairs = true;
+  match::AlignmentResult result = Run(config, true);
+  const size_t n = data_->groups.size();
+  EXPECT_EQ(result.stats.groups, n);
+  EXPECT_EQ(result.stats.pairs_total, n * (n - 1) / 2);
+  // keep_all_pairs forces full materialization.
+  EXPECT_EQ(result.stats.pairs_generated, result.stats.pairs_total);
+  EXPECT_EQ(result.stats.pairs_pruned, 0u);
+  EXPECT_GT(result.stats.postings_visited, 0u);
+}
+
+TEST_F(AlignJoinTest, JoinEmitsAscendingPartnersPastTheRow) {
+  match::SimilarityJoinOptions options;
+  match::SimilarityJoinIndex index(*data_, options);
+  match::SimilarityJoinIndex::Scratch scratch;
+  for (size_t i = 0; i < data_->groups.size(); ++i) {
+    uint32_t last = 0;
+    bool first = true;
+    index.ForEachNonZero(i, &scratch, [&](const match::SimilarityEntry& e) {
+      EXPECT_GT(e.j, i);
+      if (!first) {
+        EXPECT_GT(e.j, last);
+      }
+      last = e.j;
+      first = false;
+      EXPECT_TRUE(e.vsim != 0.0 || e.lsim != 0.0);
+    });
+  }
+  EXPECT_GT(scratch.postings_visited(), 0u);
+}
+
+TEST(AlignJoinPipelineTest, RunIsInvariantAcrossIntraPairThreads) {
+  synth::CorpusGenerator generator(synth::GeneratorOptions::Tiny(77));
+  auto gc = generator.Generate();
+  ASSERT_TRUE(gc.ok());
+  match::MatchPipeline pipeline(&gc->corpus);
+
+  match::PipelineOptions sequential;
+  sequential.num_threads = 1;
+  sequential.matcher.num_threads = 1;
+  match::PipelineOptions threaded;
+  threaded.num_threads = 8;
+  threaded.matcher.num_threads = 8;
+
+  auto a = pipeline.Run("pt", "en", sequential);
+  auto b = pipeline.Run("pt", "en", threaded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->per_type.size(), b->per_type.size());
+  for (size_t i = 0; i < a->per_type.size(); ++i) {
+    EXPECT_EQ(a->per_type[i].type_a, b->per_type[i].type_a);
+    EXPECT_EQ(a->per_type[i].alignment.matches.Clusters(),
+              b->per_type[i].alignment.matches.Clusters());
+    ExpectSamePairs(a->per_type[i].alignment.processed_order,
+                    b->per_type[i].alignment.processed_order,
+                    "processed_order");
+  }
+}
+
+}  // namespace
+}  // namespace wikimatch

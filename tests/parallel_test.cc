@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "match/pipeline.h"
 #include "synth/generator.h"
@@ -41,6 +42,43 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
     sum.fetch_add(i, std::memory_order_relaxed);
   });
   EXPECT_EQ(sum.load(), 3u);
+}
+
+TEST(ParallelForTest, WorkerExceptionRethrownOnCallingThread) {
+  // Before the fix, a throw inside a worker escaped a raw std::thread and
+  // hit std::terminate. Now the first exception is captured, every worker
+  // joins, and the calling thread rethrows it.
+  std::atomic<size_t> ran{0};
+  try {
+    util::ParallelFor(1000, 8, [&](size_t i) {
+      if (i == 137) throw std::runtime_error("worker 137 failed");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 137 failed");
+  }
+  // Workers stop handing out new indexes after the failure, so not every
+  // index need run — but none may run after the call returned.
+  EXPECT_LE(ran.load(), 999u);
+}
+
+TEST(ParallelForTest, InlineExceptionStillPropagates) {
+  EXPECT_THROW(
+      util::ParallelFor(5, 1,
+                        [&](size_t i) {
+                          if (i == 3) throw std::logic_error("inline");
+                        }),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, AllWorkersJoinWhenEveryCallThrows) {
+  // Every invocation throwing must still produce exactly one rethrow.
+  EXPECT_THROW(util::ParallelFor(64, 8,
+                                 [&](size_t) {
+                                   throw std::runtime_error("all fail");
+                                 }),
+               std::runtime_error);
 }
 
 TEST(ParallelPipelineTest, SameResultsAsSequential) {

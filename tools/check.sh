@@ -1,12 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 verification (ROADMAP.md): configure, build, run the full test
-# suite. Pass extra CMake flags as arguments, e.g.
+# suite, then run the concurrency tests under ThreadSanitizer and smoke the
+# aligner bench. Pass extra CMake flags as arguments, e.g.
 #   tools/check.sh -DWIKIMATCH_SANITIZE=ON
+# Set WIKIMATCH_SKIP_TSAN=1 to skip the TSan stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR"
-ctest --output-on-failure -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+# bench_align smoke: tiny corpus, asserts the indexed join reproduces the
+# naive path bit-for-bit (exits nonzero on divergence).
+"$BUILD_DIR"/bench/bench_align --smoke
+
+# TSan stage: rebuild the thread-touching tests with -fsanitize=thread and
+# run them. Skipped gracefully when the toolchain lacks TSan support so the
+# tier-1 gate never depends on it.
+if [[ "${WIKIMATCH_SKIP_TSAN:-0}" != "1" ]]; then
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - -o /dev/null 2>/dev/null; then
+    TSAN_DIR="${TSAN_DIR:-build-tsan}"
+    cmake -B "$TSAN_DIR" -S . -DWIKIMATCH_SANITIZE=thread \
+      -DWIKIMATCH_BUILD_BENCHMARKS=OFF -DWIKIMATCH_BUILD_EXAMPLES=OFF
+    cmake --build "$TSAN_DIR" -j --target parallel_test align_join_test
+    # Run the binaries directly: ctest's gtest discovery would flag every
+    # deliberately-unbuilt sibling test target as <name>_NOT_BUILT.
+    "$TSAN_DIR"/tests/parallel_test
+    "$TSAN_DIR"/tests/align_join_test
+  else
+    echo "check.sh: compiler lacks -fsanitize=thread, skipping TSan stage" >&2
+  fi
+fi
