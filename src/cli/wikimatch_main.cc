@@ -21,9 +21,18 @@
 //     dictionary, and alignments as a binary snapshot (--synth <scale>
 //     substitutes a generated corpus for the dumps).
 //
+//   wikimatch apply-delta --snapshot matches.snap --out matches2.snap
+//       [--dump <lang>=<delta.xml>]... [--remove <lang>:<title>]...
+//     Applies an edit batch to a matched snapshot incrementally: dump pages
+//     upsert articles (existing titles update, new titles add), --remove
+//     deletes, and only the type pairs the delta can influence are
+//     re-aligned (docs/INGEST.md). The output snapshot carries a bumped
+//     generation number; a running `serve` picks it up via `reload`.
+//
 //   wikimatch serve --snapshot matches.snap [--cache-capacity n]
 //     Answers lookup/query requests over stdin/stdout from a snapshot,
-//     without re-running the matcher (protocol: docs/SERVING.md).
+//     without re-running the matcher (protocol: docs/SERVING.md). The
+//     `reload` verb hot-swaps to a rebuilt snapshot without a restart.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "ingest/delta.h"
+#include "ingest/incremental_matcher.h"
 #include "match/match_io.h"
 #include "match/pipeline.h"
 #include "match/type_matcher.h"
@@ -43,6 +54,7 @@
 #include "serve/protocol.h"
 #include "store/snapshot.h"
 #include "synth/generator.h"
+#include "text/normalize.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "wiki/corpus.h"
@@ -56,6 +68,7 @@ namespace {
 struct Args {
   std::string command;
   std::vector<std::pair<std::string, std::string>> dumps;  // lang, path
+  std::vector<std::pair<std::string, std::string>> removes;  // lang, title
   std::string pair_a;
   std::string pair_b;
   std::vector<std::pair<std::string, std::string>> pairs;  // every --pair
@@ -80,8 +93,11 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: wikimatch <match|types|query|demo|build-snapshot|"
-               "serve> [options]\n"
-               "  --dump <lang>=<path>   add a MediaWiki XML dump (repeat)\n"
+               "apply-delta|serve> [options]\n"
+               "  --dump <lang>=<path>   add a MediaWiki XML dump (repeat; "
+               "for apply-delta, an edit batch to upsert)\n"
+               "  --remove <lang>:<title> delete an article "
+               "(apply-delta, repeat)\n"
                "  --pair <a>:<b>         language pair, e.g. pt:en "
                "(repeatable for build-snapshot)\n"
                "  --lang <code>          query language\n"
@@ -99,7 +115,8 @@ void Usage() {
                "  --out <path>           snapshot output (build-snapshot)\n"
                "  --synth <scale>        build-snapshot from a generated "
                "corpus instead of dumps\n"
-               "  --snapshot <path>      snapshot to serve (serve)\n"
+               "  --snapshot <path>      snapshot to serve / apply a delta "
+               "to\n"
                "  --cache-capacity <n>   LRU result-cache entries (serve)\n");
 }
 
@@ -127,6 +144,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         args->pair_a = args->pairs.back().first;
         args->pair_b = args->pairs.back().second;
       }
+    } else if (arg == "--remove") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) return false;
+      args->removes.emplace_back(std::string(v, colon), colon + 1);
     } else if (arg == "--lang") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -459,6 +482,91 @@ int RunBuildSnapshot(const Args& args) {
   return 0;
 }
 
+// Parses every --dump file and classifies its articles against the
+// snapshot corpus: pages whose (language, title) already exist become
+// updates, the rest become additions. --remove entries become deletions.
+util::Result<ingest::DeltaBatch> BuildDeltaBatch(const Args& args,
+                                                 const wiki::Corpus& corpus) {
+  ingest::DeltaBatch batch;
+  wiki::WikitextParser parser;
+  for (const auto& [lang, path] : args.dumps) {
+    auto pages = wiki::ReadDumpFile(path);
+    if (!pages.ok()) return pages.status().WithContext(path);
+    size_t updated = 0, added = 0;
+    for (const auto& page : *pages) {
+      if (page.ns != 0) continue;
+      auto parsed = parser.ParseArticle(page.title, lang, page.text);
+      if (!parsed.ok()) {
+        WIKIMATCH_LOG(Warning) << "skipping page '" << page.title
+                               << "': " << parsed.status().ToString();
+        continue;
+      }
+      wiki::Article article = std::move(parsed).ValueOrDie();
+      if (corpus.FindExactTitle(lang, article.title) !=
+          wiki::kInvalidArticle) {
+        batch.updated.push_back(std::move(article));
+        ++updated;
+      } else {
+        batch.added.push_back(std::move(article));
+        ++added;
+      }
+    }
+    std::fprintf(stderr, "delta %s: %zu updated, %zu added from %s\n",
+                 lang.c_str(), updated, added, path.c_str());
+  }
+  for (const auto& [lang, title] : args.removes) {
+    // Corpus titles are stored in NormalizeTitle form; accept raw input.
+    batch.removed.emplace_back(lang, text::NormalizeTitle(title));
+  }
+  return batch;
+}
+
+int RunApplyDelta(const Args& args) {
+  if (args.snapshot_path.empty() || args.out_path.empty() ||
+      (args.dumps.empty() && args.removes.empty())) {
+    Usage();
+    return 2;
+  }
+  auto snapshot = store::ReadSnapshotFile(args.snapshot_path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  // The matcher options must reproduce the run that built the snapshot for
+  // clean units to be reusable; pass the same flags as build-snapshot.
+  match::PipelineOptions options;
+  options.matcher.t_sim = args.t_sim;
+  options.matcher.t_lsi = args.t_lsi;
+  options.num_threads =
+      args.num_threads > 0 ? args.num_threads : util::DefaultThreads();
+  if (args.align_threads > 0) {
+    options.matcher.num_threads = args.align_threads;
+  }
+  ingest::IncrementalMatcher matcher = ingest::IncrementalMatcher::
+      FromSnapshot(std::move(snapshot).ValueOrDie(), options);
+  auto batch = BuildDeltaBatch(args, matcher.corpus());
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = matcher.Apply(*batch);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s\n", stats->ToString().c_str());
+  auto status = store::WriteSnapshotFile(matcher.ToSnapshot(),
+                                         args.out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote snapshot %s (generation %llu)\n",
+               args.out_path.c_str(),
+               static_cast<unsigned long long>(matcher.generation()));
+  return 0;
+}
+
 int RunServe(const Args& args) {
   if (args.snapshot_path.empty()) {
     Usage();
@@ -471,10 +579,11 @@ int RunServe(const Args& args) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "serving %s (%zu articles); one request per line, "
-               "'help' for the protocol, 'quit' or EOF to stop\n",
-               args.snapshot_path.c_str(),
-               static_cast<size_t>((*service)->corpus().size()));
+  std::fprintf(stderr, "serving %s (%zu articles, generation %llu); one "
+               "request per line, 'help' for the protocol, 'reload' to "
+               "hot-swap the snapshot, 'quit' or EOF to stop\n",
+               args.snapshot_path.c_str(), (*service)->CorpusSize(),
+               static_cast<unsigned long long>((*service)->Generation()));
   size_t served = serve::ServeLoop(std::cin, std::cout, service->get());
   std::fprintf(stderr, "served %zu requests\n", served);
   return 0;
@@ -525,6 +634,7 @@ int main(int argc, char** argv) {
   if (args.command == "query") return RunQuery(args);
   if (args.command == "demo") return RunDemo(args);
   if (args.command == "build-snapshot") return RunBuildSnapshot(args);
+  if (args.command == "apply-delta") return RunApplyDelta(args);
   if (args.command == "serve") return RunServe(args);
   Usage();
   return 2;

@@ -1,0 +1,166 @@
+// IncrementalMatcher: applies a DeltaBatch to an already-matched corpus and
+// re-runs the expensive alignment stage (schema build + LSI + similarity
+// join + match integration) only for the (language-pair, type-pair) units
+// the delta can actually influence, reusing every other unit's result
+// verbatim. The output is bit-identical to running MatchPipeline from
+// scratch on the post-delta corpus — a property the test suite asserts on
+// serialized bytes — because dirtiness is a sound over-approximation of
+// each unit's true dependency footprint:
+//
+//   * membership: a unit reads the infoboxes of its member articles, found
+//     through ArticlesOfType on both sides plus the lang_a members'
+//     cross-language links (including redirect hops). Any changed article
+//     whose pre- or post-delta record carries a typed infobox dirties every
+//     unit touching that (language, type).
+//   * titles: value links are canonicalized through FindByTitle (redirect
+//     chains) and the landing article's cross-language links; the lang_a
+//     members' cross-links resolve through redirects too. Each unit records
+//     every (language, title) those resolutions visit — including dangling
+//     targets, so an article later created at that title dirties the unit.
+//   * translations: lang_a-side value components pass through
+//     TranslationDictionary::TranslateOrKeep. Each unit records its
+//     pre-translation components; the dictionary is patched in place at the
+//     keys the changed records contribute (recomputing each key's
+//     lowest-article-id winner, Build's first-insertion-wins order), and
+//     the actually-retranslated terms dirty the units that use them.
+//
+// The changed-article set itself comes from ApplyDeltaInPlace's undo
+// record: a field-level comparison of each batch-named article's pre-image
+// against its finalized post record, plus the FinalizeReport — and since
+// Finalize() is the only source of mutations beyond the batch and reports
+// both kinds it performs (entity-type derivation, induced symmetric
+// links), indirect ripple is caught no matter how the delta caused it.
+// The same undo record rolls the corpus back byte-identically if a later
+// stage of Apply fails.
+//
+// Type matching (cross-language link voting) is cheap and corpus-global,
+// so it always re-runs in full; per-type-pair SimilarityJoinIndexes are
+// rebuilt inside AttributeAligner::Align for dirty units only, which is
+// the per-type-pair index invalidation this subsystem provides.
+
+#ifndef WIKIMATCH_INGEST_INCREMENTAL_MATCHER_H_
+#define WIKIMATCH_INGEST_INCREMENTAL_MATCHER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ingest/delta.h"
+#include "match/dictionary.h"
+#include "match/pipeline.h"
+#include "store/snapshot.h"
+#include "util/result.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace ingest {
+
+/// \brief What one Apply() did, for logging, bench, and the snapshot
+/// delta manifest.
+struct ApplyStats {
+  uint64_t generation = 0;  ///< generation the batch produced
+  size_t articles_added = 0;
+  size_t articles_updated = 0;
+  size_t articles_removed = 0;
+  size_t articles_changed = 0;  ///< finalized records that differ pre/post
+  size_t units_total = 0;       ///< type matches across all language pairs
+  size_t units_reused = 0;
+  size_t units_recomputed = 0;
+  double corpus_ms = 0.0;      ///< in-place corpus patch + change tracking
+  double dictionary_ms = 0.0;  ///< affected-key dictionary patch
+  double align_ms = 0.0;       ///< type matching + dirty-unit realignment
+  double total_ms = 0.0;
+
+  /// \brief One-line key=value rendering (CLI stderr).
+  std::string ToString() const;
+};
+
+/// \brief Holds a matched corpus and applies delta batches to it.
+class IncrementalMatcher {
+ public:
+  using LanguagePair = store::LanguagePair;
+
+  /// \brief Wraps an existing run. `results` must come from MatchPipeline
+  /// runs over `corpus` with these `options` — the reuse guarantee is
+  /// relative to what a rebuild with the same options would produce.
+  IncrementalMatcher(wiki::Corpus corpus,
+                     std::map<LanguagePair, match::PipelineResult> results,
+                     match::PipelineOptions options = {});
+
+  /// \brief Wraps a loaded snapshot. Thresholds are not persisted in
+  /// snapshots, so the caller supplies the options the snapshot was built
+  /// with (the defaults for snapshots from `wikimatch build-snapshot`).
+  static IncrementalMatcher FromSnapshot(store::Snapshot snapshot,
+                                         match::PipelineOptions options = {});
+
+  /// Movable (FromSnapshot returns by value), not copyable or assignable:
+  /// the matcher owns a background reclaimer thread for retired
+  /// generation state, joined on destruction.
+  IncrementalMatcher(IncrementalMatcher&&) = default;
+  IncrementalMatcher& operator=(IncrementalMatcher&&) = delete;
+  ~IncrementalMatcher();
+
+  /// \brief Applies one batch: patches the corpus and dictionary in place,
+  /// marks dirty units, realigns only those, and advances the generation.
+  /// InvalidArgument on a malformed batch; any failure rolls the in-place
+  /// patches back, so the matcher keeps serving its previous generation.
+  util::Result<ApplyStats> Apply(const DeltaBatch& batch);
+
+  const wiki::Corpus& corpus() const { return corpus_; }
+  const match::TranslationDictionary& dictionary() const {
+    return dictionary_;
+  }
+  const std::map<LanguagePair, match::PipelineResult>& results() const {
+    return results_;
+  }
+  uint64_t generation() const { return meta_.generation; }
+  const std::vector<store::DeltaRecord>& history() const {
+    return meta_.history;
+  }
+
+  /// \brief Snapshot of the current state (corpus, dictionary, results,
+  /// generation meta), ready for WriteSnapshotFile.
+  store::Snapshot ToSnapshot() const;
+
+ private:
+  using TitleKey = std::pair<std::string, std::string>;  // (language, title)
+  using UnitKey = std::pair<std::string, std::string>;   // (type_a, type_b)
+
+  /// Everything outside a unit's own member infoboxes that its alignment
+  /// reads (see file comment).
+  struct UnitFootprint {
+    std::set<TitleKey> titles;
+    std::set<std::string> terms;  // lang_a components, pre-translation
+  };
+
+  static UnitFootprint ComputeFootprint(const wiki::Corpus& corpus,
+                                        const std::string& lang_a,
+                                        const std::string& type_a,
+                                        const std::string& lang_b,
+                                        const std::string& type_b);
+
+  void RebuildFootprints();
+
+  /// The previous generation's containers, bundled so their destruction
+  /// (several ms of pure deallocation at corpus scale) can be handed to a
+  /// background thread instead of riding the Apply critical path.
+  struct RetiredState;
+  void ReclaimAsync(std::unique_ptr<RetiredState> retired);
+
+  wiki::Corpus corpus_;
+  match::TranslationDictionary dictionary_;
+  std::map<LanguagePair, match::PipelineResult> results_;
+  std::map<LanguagePair, std::map<UnitKey, UnitFootprint>> footprints_;
+  match::PipelineOptions options_;
+  store::SnapshotMeta meta_;
+  std::thread reclaimer_;
+};
+
+}  // namespace ingest
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_INGEST_INCREMENTAL_MATCHER_H_

@@ -28,10 +28,25 @@ class TranslationDictionary {
   /// Call after Corpus::Finalize() so links are symmetrized.
   void Build(const wiki::Corpus& corpus);
 
+  /// \brief Like Build(corpus), but scans article ranges on up to
+  /// `num_threads` workers and splices the partial maps together in range
+  /// order. First insertion wins in both paths, so the result is identical
+  /// to the single-threaded build at any thread count.
+  void Build(const wiki::Corpus& corpus, size_t num_threads);
+
   /// \brief Adds one entry (used by tests and by the COMA++ baseline's
   /// synthetic-MT configuration).
   void Add(const std::string& from_lang, const std::string& term,
            const std::string& to_lang, const std::string& translation);
+
+  /// \brief Inserts or overwrites one entry (incremental maintenance).
+  /// Unlike Add, an existing entry for the key is replaced.
+  void Put(const std::string& from_lang, const std::string& term,
+           const std::string& to_lang, const std::string& translation);
+
+  /// \brief Removes the entry for the key, if present.
+  void Erase(const std::string& from_lang, const std::string& term,
+             const std::string& to_lang);
 
   /// \brief Translation of `term` (normalized title form) from `from_lang`
   /// to `to_lang`, or nullopt when unknown.

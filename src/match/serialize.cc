@@ -246,6 +246,19 @@ void EncodePipelineResult(const PipelineResult& result,
   // Appended after the v1 payload so snapshots written before stats existed
   // still decode (the reader checks AtEnd before reading them).
   EncodePipelineStats(result.stats, w);
+  // Second append: per-unit join counters, so an incremental rebuild that
+  // reuses units loaded from a snapshot can re-aggregate the exact stats a
+  // from-scratch run would report. Readers that predate this block stop
+  // after the aggregate stats and ignore the trailing bytes.
+  w->PutU64(result.per_type.size());
+  for (const auto& tr : result.per_type) {
+    const AlignStats& s = tr.alignment.stats;
+    w->PutU64(s.groups);
+    w->PutU64(s.pairs_total);
+    w->PutU64(s.pairs_generated);
+    w->PutU64(s.pairs_pruned);
+    w->PutU64(s.postings_visited);
+  }
 }
 
 util::Result<PipelineResult> DecodePipelineResult(util::BinaryReader* r) {
@@ -268,10 +281,38 @@ util::Result<PipelineResult> DecodePipelineResult(util::BinaryReader* r) {
     if (!tr.ok()) return tr.status();
     result.per_type.push_back(std::move(tr).ValueOrDie());
   }
+  // Everything past here is the appended stats region: optional, and — to
+  // keep the append back-compatible in both directions — a payload that
+  // ends partway through it decodes as "stats absent" rather than erroring.
+  // Transport corruption is still caught by the section CRC upstream.
   if (!r->AtEnd()) {
     auto stats = DecodePipelineStats(r);
-    if (!stats.ok()) return stats.status();
+    if (!stats.ok()) {
+      if (stats.status().code() == util::StatusCode::kOutOfRange) {
+        return result;
+      }
+      return stats.status();
+    }
     result.stats = std::move(stats).ValueOrDie();
+  }
+  if (!r->AtEnd()) {
+    auto count = r->ReadU64();
+    if (!count.ok() || count.ValueOrDie() != result.per_type.size()) {
+      return result;
+    }
+    std::vector<AlignStats> per_unit(result.per_type.size());
+    for (auto& s : per_unit) {
+      size_t* fields[] = {&s.groups, &s.pairs_total, &s.pairs_generated,
+                          &s.pairs_pruned, &s.postings_visited};
+      for (size_t* field : fields) {
+        auto v = r->ReadU64();
+        if (!v.ok()) return result;  // truncated inside the append: absent
+        *field = static_cast<size_t>(v.ValueOrDie());
+      }
+    }
+    for (size_t i = 0; i < per_unit.size(); ++i) {
+      result.per_type[i].alignment.stats = per_unit[i];
+    }
   }
   return result;
 }

@@ -1,5 +1,6 @@
 #include "serve/match_service.h"
 
+#include <ctime>
 #include <sstream>
 
 #include "text/normalize.h"
@@ -85,9 +86,19 @@ const std::vector<std::string> kHelpLines = {
     "snapshot",
     "stats                                          service and cache "
     "counters",
+    "generation                                     generation of the "
+    "snapshot being served",
+    "reload [<path>]                                hot-swap to the "
+    "snapshot at <path> (default: the loaded one)",
     "quit                                           end the session",
     "(quote multi-word type names: alignments pt:en \"artista musical\")",
 };
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 }  // namespace
 
@@ -95,7 +106,9 @@ util::Result<std::unique_ptr<MatchService>> MatchService::Load(
     const std::string& path, const ServiceOptions& options) {
   auto snapshot = store::ReadSnapshotFile(path);
   if (!snapshot.ok()) return snapshot.status();
-  return Create(std::move(snapshot).ValueOrDie(), options);
+  auto service = Create(std::move(snapshot).ValueOrDie(), options);
+  service->source_path_ = path;
+  return service;
 }
 
 std::unique_ptr<MatchService> MatchService::Create(
@@ -107,9 +120,20 @@ std::unique_ptr<MatchService> MatchService::Create(
 MatchService::MatchService(store::Snapshot snapshot,
                            const ServiceOptions& options)
     : options_(options),
-      snapshot_(std::move(snapshot)),
-      cache_(options.cache_capacity, options.cache_shards) {
-  for (auto& [pair, result] : snapshot_.pipelines) {
+      cache_(options.cache_capacity, options.cache_shards),
+      started_(Clock::now()) {
+  gen_ = BuildGeneration(std::move(snapshot), 1);
+  loads_.store(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const MatchService::GenerationState>
+MatchService::BuildGeneration(store::Snapshot snapshot, uint64_t load_seq) {
+  auto gen = std::make_shared<GenerationState>();
+  gen->snapshot = std::move(snapshot);
+  gen->load_seq = load_seq;
+  gen->loaded_unix = static_cast<int64_t>(std::time(nullptr));
+  gen->loaded_at = Clock::now();
+  for (auto& [pair, result] : gen->snapshot.pipelines) {
     PairServing serving;
     serving.result = &result;
     for (const auto& tr : result.per_type) {
@@ -120,22 +144,52 @@ MatchService::MatchService(store::Snapshot snapshot,
     }
     serving.translator = std::make_unique<query::QueryTranslator>(
         pair.first, pair.second, result.type_matches, serving.per_type,
-        &snapshot_.dictionary);
-    pairs_.emplace(pair, std::move(serving));
+        &gen->snapshot.dictionary);
+    gen->pairs.emplace(pair, std::move(serving));
   }
+  return gen;
 }
 
-const MatchService::PairServing* MatchService::FindPair(
+std::shared_ptr<const MatchService::GenerationState> MatchService::Current()
+    const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return gen_;
+}
+
+util::Status MatchService::Reload(const std::string& path) {
+  // One writer at a time; readers are never blocked by a rebuild.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  std::string source = path.empty() ? source_path_ : path;
+  if (source.empty()) {
+    return util::Status::InvalidArgument(
+        "no snapshot path to reload from (service was built in memory; "
+        "pass an explicit path)");
+  }
+  auto snapshot = store::ReadSnapshotFile(source);
+  if (!snapshot.ok()) return snapshot.status();
+  auto gen = BuildGeneration(std::move(snapshot).ValueOrDie(),
+                             loads_.load(std::memory_order_relaxed) + 1);
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gen_ = std::move(gen);
+  }
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  source_path_ = source;
+  return util::Status::OK();
+}
+
+const MatchService::PairServing* MatchService::GenerationState::FindPair(
     const std::string& lang_a, const std::string& lang_b) const {
-  auto it = pairs_.find({lang_a, lang_b});
-  return it == pairs_.end() ? nullptr : &it->second;
+  auto it = pairs.find({lang_a, lang_b});
+  return it == pairs.end() ? nullptr : &it->second;
 }
 
 util::Result<std::vector<std::string>> MatchService::TranslateAttribute(
     const std::string& lang_a, const std::string& lang_b,
     const std::string& type_b, const std::string& lang,
     const std::string& name) const {
-  const PairServing* pair = FindPair(lang_a, lang_b);
+  auto gen = Current();
+  const PairServing* pair = gen->FindPair(lang_a, lang_b);
   if (pair == nullptr) {
     return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
                                   lang_b + " in snapshot");
@@ -162,7 +216,8 @@ util::Result<std::vector<std::string>> MatchService::TranslateAttribute(
 util::Result<std::vector<std::string>> MatchService::ListAlignments(
     const std::string& lang_a, const std::string& lang_b,
     const std::string& type_b) const {
-  const PairServing* pair = FindPair(lang_a, lang_b);
+  auto gen = Current();
+  const PairServing* pair = gen->FindPair(lang_a, lang_b);
   if (pair == nullptr) {
     return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
                                   lang_b + " in snapshot");
@@ -182,7 +237,8 @@ util::Result<std::vector<std::string>> MatchService::ListAlignments(
 util::Result<ServedQueryResult> MatchService::EvaluateTranslatedQuery(
     const std::string& lang_a, const std::string& lang_b,
     const std::string& query_text) const {
-  const PairServing* pair = FindPair(lang_a, lang_b);
+  auto gen = Current();
+  const PairServing* pair = gen->FindPair(lang_a, lang_b);
   if (pair == nullptr) {
     return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
                                   lang_b + " in snapshot");
@@ -194,7 +250,7 @@ util::Result<ServedQueryResult> MatchService::EvaluateTranslatedQuery(
   if (!translated.ok()) {
     return translated.status().WithContext("translating c-query");
   }
-  query::QueryEvaluator evaluator(&snapshot_.corpus, lang_b);
+  query::QueryEvaluator evaluator(&gen->snapshot.corpus, lang_b);
   query::EvaluatorOptions eval_options;
   eval_options.top_k = options_.query_top_k;
   auto answers = evaluator.Run(*translated, eval_options);
@@ -208,7 +264,7 @@ util::Result<ServedQueryResult> MatchService::EvaluateTranslatedQuery(
   out.answers.reserve(answers->size());
   for (const auto& answer : *answers) {
     ServedAnswer served;
-    served.title = snapshot_.corpus.Get(answer.article).title;
+    served.title = gen->snapshot.corpus.Get(answer.article).title;
     served.score = answer.score;
     served.projections = answer.projections;
     out.answers.push_back(std::move(served));
@@ -216,7 +272,8 @@ util::Result<ServedQueryResult> MatchService::EvaluateTranslatedQuery(
   return out;
 }
 
-std::string MatchService::Dispatch(const std::string& line,
+std::string MatchService::Dispatch(const GenerationState& gen,
+                                   const std::string& line,
                                    bool* cacheable) {
   *cacheable = false;
   size_t pos = 0;
@@ -228,6 +285,10 @@ std::string MatchService::Dispatch(const std::string& line,
     ServiceStats stats = Stats();
     std::ostringstream os;
     os << "requests=" << stats.requests << " errors=" << stats.errors
+       << " generation=" << gen.snapshot.meta.generation
+       << " loads=" << stats.loads << " loaded_unix=" << gen.loaded_unix
+       << " uptime_s=" << stats.uptime_s
+       << " generation_age_s=" << SecondsSince(gen.loaded_at)
        << " cache_hits=" << stats.cache.hits
        << " cache_misses=" << stats.cache.misses
        << " cache_evictions=" << stats.cache.evictions
@@ -236,15 +297,34 @@ std::string MatchService::Dispatch(const std::string& line,
     std::vector<std::string> lines = {os.str()};
     // Build-time pipeline stats travel inside the snapshot; absent (all
     // zero) for snapshots written before they were recorded.
-    for (const auto& [pair, serving] : pairs_) {
+    for (const auto& [pair, serving] : gen.pairs) {
       lines.push_back("pipeline " + pair.first + ":" + pair.second + " " +
                       serving.result->stats.ToString());
     }
     return RenderOk(lines);
   }
+  if (command == "generation") {
+    std::ostringstream os;
+    os << "generation=" << gen.snapshot.meta.generation
+       << " load_seq=" << gen.load_seq
+       << " loaded_unix=" << gen.loaded_unix
+       << " age_s=" << SecondsSince(gen.loaded_at)
+       << " deltas_applied=" << gen.snapshot.meta.history.size();
+    return RenderOk({os.str()});
+  }
+  if (command == "reload") {
+    std::string target = RestOfLine(line, pos);
+    util::Status status = Reload(target);
+    if (!status.ok()) return RenderErr(status.ToString());
+    auto fresh = Current();
+    std::ostringstream os;
+    os << "reloaded generation=" << fresh->snapshot.meta.generation
+       << " load_seq=" << fresh->load_seq;
+    return RenderOk({os.str()});
+  }
   if (command == "pairs") {
     std::vector<std::string> lines;
-    for (const auto& [pair, serving] : pairs_) {
+    for (const auto& [pair, serving] : gen.pairs) {
       lines.push_back(pair.first + ":" + pair.second);
     }
     return RenderOk(lines);
@@ -259,7 +339,7 @@ std::string MatchService::Dispatch(const std::string& line,
   }
 
   if (command == "types") {
-    const PairServing* pair = FindPair(lang_a, lang_b);
+    const PairServing* pair = gen.FindPair(lang_a, lang_b);
     if (pair == nullptr) {
       return RenderErr("no pipeline for pair " + lang_a + ":" + lang_b +
                        " in snapshot");
@@ -331,12 +411,17 @@ std::string MatchService::Dispatch(const std::string& line,
 
 std::string MatchService::Handle(const std::string& line) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  // Pin one generation for the whole request. The cache key carries its
+  // load sequence so a swap instantly invalidates every older entry
+  // (they become unaddressable and age out of the LRU).
+  auto gen = Current();
+  std::string key = std::to_string(gen->load_seq) + '\x1f' + line;
   std::string cached;
-  if (cache_.Get(line, &cached)) return cached;
+  if (cache_.Get(key, &cached)) return cached;
   bool cacheable = false;
-  std::string response = Dispatch(line, &cacheable);
+  std::string response = Dispatch(*gen, line, &cacheable);
   if (cacheable) {
-    cache_.Put(line, response);
+    cache_.Put(key, response);
   } else if (response.compare(0, 3, "err") == 0) {
     errors_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -344,18 +429,31 @@ std::string MatchService::Handle(const std::string& line) {
 }
 
 ServiceStats MatchService::Stats() const {
+  auto gen = Current();
   ServiceStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.generation = gen->snapshot.meta.generation;
+  stats.loads = loads_.load(std::memory_order_relaxed);
+  stats.loaded_unix = gen->loaded_unix;
+  stats.uptime_s = SecondsSince(started_);
+  stats.generation_age_s = SecondsSince(gen->loaded_at);
   stats.cache = cache_.Stats();
   return stats;
 }
 
 std::vector<store::LanguagePair> MatchService::Pairs() const {
+  auto gen = Current();
   std::vector<store::LanguagePair> out;
-  out.reserve(pairs_.size());
-  for (const auto& [pair, serving] : pairs_) out.push_back(pair);
+  out.reserve(gen->pairs.size());
+  for (const auto& [pair, serving] : gen->pairs) out.push_back(pair);
   return out;
+}
+
+size_t MatchService::CorpusSize() const { return Current()->snapshot.corpus.size(); }
+
+uint64_t MatchService::Generation() const {
+  return Current()->snapshot.meta.generation;
 }
 
 }  // namespace serve

@@ -1,22 +1,36 @@
-// MatchService: the in-process serving layer. Loads a snapshot once (the
+// MatchService: the in-process serving layer. Loads a snapshot (the
 // expensive offline matching already done by `wikimatch build-snapshot`)
 // and answers three request types — attribute-translation lookup, per-type
 // alignment listing, and translated c-query evaluation — from immutable
 // in-memory state behind a sharded LRU result cache.
 //
-// Thread safety: after construction every lookup structure is read-only
-// (MatchSets are fully path-compressed at load so even their lazy
-// union-find performs no writes), the cache is internally synchronized,
-// and counters are atomic — Handle() may be called from any number of
-// threads concurrently.
+// Hot reload: the snapshot and every index derived from it live in an
+// immutable Generation object held by shared_ptr. Readers pin the current
+// generation for the duration of one request; Reload() builds the next
+// generation entirely off the read path and then swaps the pointer, so
+// in-flight requests finish against the generation they started on and the
+// old one is freed when its last reader drops it (RCU by shared_ptr).
+// Cache keys are tagged with the generation's load sequence number, which
+// invalidates every cached response at swap time without touching the
+// cache: stale entries simply stop being addressable and age out of the
+// LRU.
+//
+// Thread safety: a generation is read-only after construction (MatchSets
+// are fully path-compressed at build so even their lazy union-find
+// performs no writes), the generation pointer is swapped under a mutex,
+// the cache is internally synchronized, and counters are atomic —
+// Handle() and Reload() may be called from any number of threads
+// concurrently.
 
 #ifndef WIKIMATCH_SERVE_MATCH_SERVICE_H_
 #define WIKIMATCH_SERVE_MATCH_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,8 +56,13 @@ struct ServiceOptions {
 
 /// \brief Observability counters.
 struct ServiceStats {
-  uint64_t requests = 0;       ///< Handle() calls, including errors
-  uint64_t errors = 0;         ///< requests answered with "err"
+  uint64_t requests = 0;  ///< Handle() calls, including errors
+  uint64_t errors = 0;    ///< requests answered with "err"
+  uint64_t generation = 0;  ///< snapshot meta generation being served
+  uint64_t loads = 0;       ///< generations installed (initial load = 1)
+  int64_t loaded_unix = 0;  ///< wall-clock time the generation installed
+  double uptime_s = 0.0;    ///< since service construction
+  double generation_age_s = 0.0;  ///< since the current generation installed
   CacheStats cache;
 };
 
@@ -62,16 +81,23 @@ struct ServedQueryResult {
   std::vector<ServedAnswer> answers;
 };
 
-/// \brief Thread-safe snapshot-backed match server.
+/// \brief Thread-safe snapshot-backed match server with hot reload.
 class MatchService {
  public:
   /// \brief Reads the snapshot at `path` and builds the serving indexes.
+  /// The path is remembered as the default `Reload()` source.
   static util::Result<std::unique_ptr<MatchService>> Load(
       const std::string& path, const ServiceOptions& options = {});
 
   /// \brief Builds a service from an in-memory snapshot (tests, bench).
   static std::unique_ptr<MatchService> Create(
       store::Snapshot snapshot, const ServiceOptions& options = {});
+
+  /// \brief Builds serving indexes for the snapshot at `path` (or, with an
+  /// empty path, the path of the last successful load) off the read path,
+  /// then atomically swaps it in. On error the previous generation keeps
+  /// serving untouched. Concurrent Reload() calls are serialized.
+  util::Status Reload(const std::string& path = "");
 
   // ---- Typed API (uncached) ----------------------------------------------
 
@@ -97,38 +123,68 @@ class MatchService {
 
   /// \brief Handles one request line (see docs/SERVING.md) and returns the
   /// full response text ("ok <n>\n..." or "err <message>\n"). Successful
-  /// responses are served from / inserted into the LRU cache.
+  /// responses are served from / inserted into the LRU cache, keyed under
+  /// the generation that produced them.
   std::string Handle(const std::string& line);
 
   ServiceStats Stats() const;
 
-  /// \brief Language pairs available in the snapshot.
+  /// \brief Language pairs available in the current generation.
   std::vector<store::LanguagePair> Pairs() const;
 
-  const wiki::Corpus& corpus() const { return snapshot_.corpus; }
+  /// \brief Articles in the current generation's corpus.
+  size_t CorpusSize() const;
+
+  /// \brief Snapshot meta generation currently being served.
+  uint64_t Generation() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct PairServing {
     const match::PipelineResult* result = nullptr;
     std::map<std::string, const eval::MatchSet*> per_type;
     std::unique_ptr<query::QueryTranslator> translator;
   };
 
+  /// One immutable serving epoch: a snapshot plus every index derived
+  /// from it. Never mutated after BuildGeneration returns.
+  struct GenerationState {
+    store::Snapshot snapshot;
+    std::map<store::LanguagePair, PairServing> pairs;
+    uint64_t load_seq = 0;    ///< 1 for the initial load, +1 per reload
+    int64_t loaded_unix = 0;  ///< wall clock at install
+    Clock::time_point loaded_at;
+
+    const PairServing* FindPair(const std::string& lang_a,
+                                const std::string& lang_b) const;
+  };
+
   MatchService(store::Snapshot snapshot, const ServiceOptions& options);
 
-  /// The serving state of (lang_a, lang_b), or nullptr.
-  const PairServing* FindPair(const std::string& lang_a,
-                              const std::string& lang_b) const;
+  static std::shared_ptr<const GenerationState> BuildGeneration(
+      store::Snapshot snapshot, uint64_t load_seq);
 
-  /// Uncached dispatch; returns the rendered response.
-  std::string Dispatch(const std::string& line, bool* cacheable);
+  /// Pins the current generation (shared_ptr copy under a short lock).
+  std::shared_ptr<const GenerationState> Current() const;
+
+  /// Uncached dispatch against one pinned generation.
+  std::string Dispatch(const GenerationState& gen, const std::string& line,
+                       bool* cacheable);
 
   ServiceOptions options_;
-  store::Snapshot snapshot_;
-  std::map<store::LanguagePair, PairServing> pairs_;
   ShardedLruCache cache_;
+  Clock::time_point started_;
+
+  mutable std::mutex gen_mu_;  // guards gen_ (pointer copy + swap only)
+  std::shared_ptr<const GenerationState> gen_;
+
+  std::mutex reload_mu_;  // serializes writers; guards source_path_
+  std::string source_path_;
+
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> loads_{0};
 };
 
 }  // namespace serve

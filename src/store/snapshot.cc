@@ -102,6 +102,21 @@ util::Status SnapshotWriter::WritePipeline(
   return WriteSection(SectionKind::kPipeline, w.buffer());
 }
 
+util::Status SnapshotWriter::WriteMeta(const SnapshotMeta& meta) {
+  util::BinaryWriter w;
+  w.PutU64(meta.generation);
+  w.PutU64(meta.history.size());
+  for (const auto& rec : meta.history) {
+    w.PutU64(rec.generation);
+    w.PutU64(rec.articles_added);
+    w.PutU64(rec.articles_updated);
+    w.PutU64(rec.articles_removed);
+    w.PutU64(rec.units_reused);
+    w.PutU64(rec.units_recomputed);
+  }
+  return WriteSection(SectionKind::kMeta, w.buffer());
+}
+
 util::Status SnapshotWriter::Finish() {
   if (file_ == nullptr) {
     return util::Status::Internal("snapshot writer already finished");
@@ -128,6 +143,12 @@ util::Status WriteSnapshotFile(const Snapshot& snapshot,
   for (const auto& [pair, result] : snapshot.pipelines) {
     WIKIMATCH_RETURN_NOT_OK(
         writer->WritePipeline(pair.first, pair.second, result));
+  }
+  // Generation-0 snapshots with no history omit the meta section so their
+  // bytes match pre-meta writers (and old readers never see kind 4 at all
+  // unless a delta was actually applied).
+  if (!snapshot.meta.IsDefault()) {
+    WIKIMATCH_RETURN_NOT_OK(writer->WriteMeta(snapshot.meta));
   }
   return writer->Finish();
 }
@@ -250,6 +271,35 @@ util::Result<Snapshot> ReadSnapshotFile(const std::string& path) {
             LanguagePair(std::move(lang_a).ValueOrDie(),
                          std::move(lang_b).ValueOrDie()),
             std::move(result).ValueOrDie());
+        break;
+      }
+      case SectionKind::kMeta: {
+        SnapshotMeta meta;
+        auto gen = pr.ReadU64();
+        if (!gen.ok()) {
+          return gen.status().WithContext("snapshot meta section");
+        }
+        meta.generation = gen.ValueOrDie();
+        auto count = pr.ReadU64();
+        if (!count.ok()) {
+          return count.status().WithContext("snapshot meta section");
+        }
+        for (uint64_t i = 0; i < count.ValueOrDie(); ++i) {
+          DeltaRecord rec;
+          uint64_t* fields[] = {&rec.generation,     &rec.articles_added,
+                                &rec.articles_updated, &rec.articles_removed,
+                                &rec.units_reused,   &rec.units_recomputed};
+          for (uint64_t* field : fields) {
+            auto v = pr.ReadU64();
+            if (!v.ok()) {
+              return v.status().WithContext("snapshot meta section");
+            }
+            *field = v.ValueOrDie();
+          }
+          meta.history.push_back(rec);
+        }
+        // Trailing bytes (fields appended by a newer writer) are ignored.
+        snapshot.meta = std::move(meta);
         break;
       }
       default:

@@ -11,12 +11,14 @@
 //   section  kind u32 | payload_size u64 | crc32 u32 | payload bytes
 //
 // Section kinds: 1 = corpus, 2 = dictionary, 3 = pipeline result (payload
-// begins with lang_a, lang_b; repeats once per pair). Unknown kinds within
-// a supported version are skipped, so sections can be added without a
-// version bump. Readers verify the magic, the version, the section count,
-// and every section's CRC-32, and fail with a descriptive util::Status on
-// truncated, corrupt, or version-mismatched input — never undefined
-// behavior.
+// begins with lang_a, lang_b; repeats once per pair), 4 = meta (snapshot
+// generation number plus the delta-manifest history appended by
+// `wikimatch apply-delta`). Unknown kinds within a supported version are
+// skipped, so sections can be added without a version bump — kind 4 was
+// added that way and old readers ignore it. Readers verify the magic, the
+// version, the section count, and every section's CRC-32, and fail with a
+// descriptive util::Status on truncated, corrupt, or version-mismatched
+// input — never undefined behavior.
 
 #ifndef WIKIMATCH_STORE_SNAPSHOT_H_
 #define WIKIMATCH_STORE_SNAPSHOT_H_
@@ -26,6 +28,7 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "match/dictionary.h"
 #include "match/pipeline.h"
@@ -43,16 +46,42 @@ enum class SectionKind : uint32_t {
   kCorpus = 1,
   kDictionary = 2,
   kPipeline = 3,
+  kMeta = 4,
 };
 
 /// \brief A language pair, source first ("pt", "en").
 using LanguagePair = std::pair<std::string, std::string>;
+
+/// \brief One applied delta batch, as recorded in the snapshot manifest.
+struct DeltaRecord {
+  uint64_t generation = 0;  // generation the batch produced
+  uint64_t articles_added = 0;
+  uint64_t articles_updated = 0;
+  uint64_t articles_removed = 0;
+  uint64_t units_reused = 0;
+  uint64_t units_recomputed = 0;
+};
+
+/// \brief Generation number + delta manifest (section kind 4).
+///
+/// A freshly built snapshot is generation 0 with an empty history; each
+/// `wikimatch apply-delta` bumps the generation and appends a DeltaRecord.
+/// The section is written only when non-default, so generation-0 snapshots
+/// are byte-identical to pre-meta ones and old files read back as
+/// generation 0.
+struct SnapshotMeta {
+  uint64_t generation = 0;
+  std::vector<DeltaRecord> history;
+
+  bool IsDefault() const { return generation == 0 && history.empty(); }
+};
 
 /// \brief Everything a snapshot holds, in memory.
 struct Snapshot {
   wiki::Corpus corpus;
   match::TranslationDictionary dictionary;
   std::map<LanguagePair, match::PipelineResult> pipelines;
+  SnapshotMeta meta;
 };
 
 /// \brief Streaming writer: one Write* call per section, then Finish().
@@ -76,6 +105,7 @@ class SnapshotWriter {
   util::Status WritePipeline(const std::string& lang_a,
                              const std::string& lang_b,
                              const match::PipelineResult& result);
+  util::Status WriteMeta(const SnapshotMeta& meta);
 
   /// \brief Patches the section count into the header and closes the file.
   util::Status Finish();

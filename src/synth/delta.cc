@@ -1,0 +1,145 @@
+#include "synth/delta.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "text/normalize.h"
+#include "util/rng.h"
+
+namespace wikimatch {
+namespace synth {
+namespace {
+
+using TitleKey = std::pair<std::string, std::string>;
+
+struct DualPair {
+  wiki::ArticleId id_a;
+  wiki::ArticleId id_b;
+  std::string type_a;  // localized lang_a type
+};
+
+}  // namespace
+
+util::Result<ingest::DeltaBatch> MakeDeltaBatch(const wiki::Corpus& corpus,
+                                                const DeltaSpec& spec) {
+  if (spec.lang_a == spec.lang_b) {
+    return util::Status::InvalidArgument(
+        "delta spec needs two distinct languages");
+  }
+  std::vector<std::string> types =
+      spec.types_b.empty() ? corpus.TypesIn(spec.lang_b) : spec.types_b;
+  std::vector<DualPair> duals;
+  for (const std::string& type_b : types) {
+    for (wiki::ArticleId id_b : corpus.ArticlesOfType(spec.lang_b, type_b)) {
+      wiki::ArticleId id_a = corpus.CrossLanguageTarget(id_b, spec.lang_a);
+      if (id_a == wiki::kInvalidArticle) continue;
+      const wiki::Article& a = corpus.Get(id_a);
+      if (!a.infobox.has_value()) continue;
+      duals.push_back({id_a, id_b, a.entity_type});
+    }
+  }
+  if (duals.empty()) {
+    return util::Status::NotFound("no dual pairs for " + spec.lang_a + ":" +
+                                  spec.lang_b + " in the requested types");
+  }
+
+  util::Rng rng(spec.seed);
+  std::map<TitleKey, wiki::Article> upserts;
+  auto stage = [&](const wiki::Article& original) -> wiki::Article& {
+    TitleKey key{original.language, original.title};
+    auto it = upserts.find(key);
+    if (it == upserts.end()) it = upserts.emplace(key, original).first;
+    return it->second;
+  };
+
+  ingest::DeltaBatch batch;
+
+  // Template-wide attribute renames on the lang_a side.
+  for (size_t k = 0; k < spec.attribute_renames; ++k) {
+    const DualPair& dual = duals[rng.NextBounded(duals.size())];
+    const wiki::Infobox& box = *corpus.Get(dual.id_a).infobox;
+    if (box.attributes.empty()) continue;
+    const std::string old_name =
+        box.attributes[rng.NextBounded(box.attributes.size())].first;
+    const std::string new_name = text::NormalizeAttributeName(
+        old_name + " alt" + std::to_string(k + 1));
+    for (wiki::ArticleId id :
+         corpus.ArticlesOfType(spec.lang_a, dual.type_a)) {
+      const wiki::Article& member = corpus.Get(id);
+      bool has = false;
+      for (const auto& [name, value] : member.infobox->attributes) {
+        (void)value;
+        if (name == old_name) has = true;
+      }
+      if (!has) continue;
+      wiki::Article& staged = stage(member);
+      for (auto& [name, value] : staged.infobox->attributes) {
+        (void)value;
+        if (name == old_name) name = new_name;
+      }
+    }
+  }
+
+  // Single-article value edits, alternating sides of the pair.
+  for (size_t k = 0; k < spec.value_edits; ++k) {
+    const DualPair& dual = duals[rng.NextBounded(duals.size())];
+    wiki::ArticleId id = k % 2 == 0 ? dual.id_a : dual.id_b;
+    wiki::Article& staged = stage(corpus.Get(id));
+    auto& attributes = staged.infobox->attributes;
+    if (attributes.empty()) continue;
+    wiki::AttributeValue& value =
+        attributes[rng.NextBounded(attributes.size())].second;
+    const std::string token = " rev" + std::to_string(k + 1);
+    value.text += token;
+    value.raw += token;
+  }
+
+  // New dual pairs cloned from a donor under fresh titles.
+  for (size_t k = 0; k < spec.new_articles; ++k) {
+    const DualPair& donor = duals[rng.NextBounded(duals.size())];
+    const wiki::Article& donor_a = corpus.Get(donor.id_a);
+    const wiki::Article& donor_b = corpus.Get(donor.id_b);
+    const std::string suffix = " variant " + std::to_string(k + 1);
+    wiki::Article clone_a = donor_a;
+    wiki::Article clone_b = donor_b;
+    clone_a.title = text::NormalizeTitle(donor_a.title + suffix);
+    clone_b.title = text::NormalizeTitle(donor_b.title + suffix);
+    if (corpus.FindExactTitle(clone_a.language, clone_a.title) !=
+            wiki::kInvalidArticle ||
+        corpus.FindExactTitle(clone_b.language, clone_b.title) !=
+            wiki::kInvalidArticle) {
+      continue;  // freak title collision: skip rather than loop
+    }
+    clone_a.cross_language_links = {{spec.lang_b, clone_b.title}};
+    clone_b.cross_language_links = {{spec.lang_a, clone_a.title}};
+    clone_a.redirect_to.clear();
+    clone_b.redirect_to.clear();
+    batch.added.push_back(std::move(clone_a));
+    batch.added.push_back(std::move(clone_b));
+  }
+
+  // Deletions of lang_a dual articles (skipping anything already edited,
+  // which would make the batch self-contradictory).
+  std::set<TitleKey> removed;
+  for (size_t k = 0; k < spec.removals; ++k) {
+    for (size_t attempt = 0; attempt < duals.size(); ++attempt) {
+      const DualPair& dual = duals[rng.NextBounded(duals.size())];
+      const wiki::Article& a = corpus.Get(dual.id_a);
+      TitleKey key{a.language, a.title};
+      if (upserts.count(key) > 0 || removed.count(key) > 0) continue;
+      removed.insert(key);
+      break;
+    }
+  }
+
+  for (auto& [key, article] : upserts) {
+    (void)key;
+    batch.updated.push_back(std::move(article));
+  }
+  batch.removed.assign(removed.begin(), removed.end());
+  return batch;
+}
+
+}  // namespace synth
+}  // namespace wikimatch

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace wikimatch {
 namespace wiki {
@@ -20,6 +21,147 @@ util::Result<ArticleId> Corpus::AddArticle(Article article) {
   articles_.push_back(std::move(article));
   finalized_ = false;
   return id;
+}
+
+Corpus Corpus::ParallelCopy(const Corpus& base, size_t num_threads) {
+  Corpus out;
+  const size_t n = base.articles_.size();
+  out.articles_.resize(n);
+  const size_t chunks = num_threads <= 1 ? 1 : num_threads * 4;
+  const size_t step = (n + chunks - 1) / chunks;
+  util::ParallelFor(chunks, num_threads, [&](size_t c) {
+    const size_t begin = c * step;
+    const size_t end = std::min(n, begin + step);
+    for (size_t i = begin; i < end; ++i) {
+      out.articles_[i] = base.articles_[i];
+    }
+  });
+  out.title_index_ = base.title_index_;
+  out.language_index_ = base.language_index_;
+  out.type_index_ = base.type_index_;
+  out.finalized_ = base.finalized_;
+  return out;
+}
+
+util::Status Corpus::ReplaceArticle(ArticleId id, Article article) {
+  if (id >= articles_.size()) {
+    return util::Status::InvalidArgument("ReplaceArticle: id out of range");
+  }
+  if (articles_[id].language != article.language ||
+      articles_[id].title != article.title) {
+    return util::Status::InvalidArgument(
+        "ReplaceArticle: replacement for " + articles_[id].language + ":" +
+        articles_[id].title + " carries key " + article.language + ":" +
+        article.title);
+  }
+  articles_[id] = std::move(article);
+  finalized_ = false;
+  return util::Status::OK();
+}
+
+void Corpus::EraseArticles(std::vector<ArticleId> ids) {
+  if (ids.empty()) return;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (ArticleId id : ids) {
+    const Article& a = articles_[id];
+    title_index_.erase({a.language, a.title});
+  }
+  // Compact the article vector, preserving relative order.
+  size_t write = 0;
+  size_t next_removed = 0;
+  for (size_t read = 0; read < articles_.size(); ++read) {
+    if (next_removed < ids.size() && ids[next_removed] == read) {
+      ++next_removed;
+      continue;
+    }
+    if (write != read) articles_[write] = std::move(articles_[read]);
+    ++write;
+  }
+  articles_.resize(write);
+  // Every surviving id shifts down by the number of removed ids below it.
+  auto shifted = [&](ArticleId id) {
+    return id - static_cast<ArticleId>(
+                    std::upper_bound(ids.begin(), ids.end(), id) -
+                    ids.begin());
+  };
+  for (auto& [key, id] : title_index_) id = shifted(id);
+  for (auto& [language, list] : language_index_) {
+    size_t w = 0;
+    for (ArticleId id : list) {
+      if (std::binary_search(ids.begin(), ids.end(), id)) continue;
+      list[w++] = shifted(id);
+    }
+    list.resize(w);
+  }
+  // Stale ids must not be served while un-finalized; Finalize rebuilds.
+  type_index_.clear();
+  finalized_ = false;
+}
+
+void Corpus::PopArticles(size_t n) {
+  n = std::min(n, articles_.size());
+  for (size_t k = 0; k < n; ++k) {
+    const ArticleId id = static_cast<ArticleId>(articles_.size() - 1 - k);
+    const Article& a = articles_[id];
+    title_index_.erase({a.language, a.title});
+    // Language lists are ascending by id, so the popped article is the
+    // last entry of its language's list.
+    auto it = language_index_.find(a.language);
+    it->second.pop_back();
+    if (it->second.empty()) language_index_.erase(it);
+  }
+  articles_.resize(articles_.size() - n);
+  type_index_.clear();
+  finalized_ = false;
+}
+
+void Corpus::RestoreArticles(
+    std::vector<std::pair<ArticleId, Article>> originals) {
+  if (originals.empty()) return;
+  std::sort(originals.begin(), originals.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  // Merge survivors and restored records back into original positions.
+  std::vector<Article> merged;
+  merged.reserve(articles_.size() + originals.size());
+  size_t next_restored = 0;
+  size_t next_survivor = 0;
+  while (merged.size() < articles_.size() + originals.size()) {
+    const ArticleId pos = static_cast<ArticleId>(merged.size());
+    if (next_restored < originals.size() &&
+        originals[next_restored].first == pos) {
+      merged.push_back(std::move(originals[next_restored].second));
+      ++next_restored;
+    } else {
+      merged.push_back(std::move(articles_[next_survivor++]));
+    }
+  }
+  articles_ = std::move(merged);
+  // Survivor id c moves back up to c + (#restored ids at or below the
+  // shifted position) — the inverse of EraseArticles' downshift.
+  auto shifted = [&](ArticleId c) {
+    size_t k = 0;
+    ArticleId o = c;
+    while (k < originals.size() && originals[k].first <= o) {
+      ++k;
+      o = c + static_cast<ArticleId>(k);
+    }
+    return o;
+  };
+  for (auto& [key, id] : title_index_) id = shifted(id);
+  for (auto& [language, list] : language_index_) {
+    for (ArticleId& id : list) id = shifted(id);
+  }
+  // Index the restored records; language lists stay ascending by id.
+  for (const auto& original : originals) {
+    const ArticleId id = original.first;
+    const Article& a = articles_[id];
+    title_index_.emplace(std::make_pair(a.language, a.title), id);
+    auto& list = language_index_[a.language];
+    list.insert(std::lower_bound(list.begin(), list.end(), id), id);
+  }
+  type_index_.clear();
+  finalized_ = false;
 }
 
 util::Result<size_t> Corpus::IngestDump(const std::vector<DumpPage>& pages,
@@ -46,13 +188,17 @@ util::Result<size_t> Corpus::IngestDump(const std::vector<DumpPage>& pages,
   return added;
 }
 
-void Corpus::Finalize() {
+void Corpus::Finalize(FinalizeReport* report) {
   if (finalized_) return;
 
   // 1. Entity types from infobox template types.
-  for (auto& article : articles_) {
+  for (size_t i = 0; i < articles_.size(); ++i) {
+    Article& article = articles_[i];
     if (article.entity_type.empty() && article.infobox.has_value()) {
       article.entity_type = article.infobox->template_type;
+      if (report != nullptr && !article.entity_type.empty()) {
+        report->entity_type_derived.push_back(static_cast<ArticleId>(i));
+      }
     }
   }
 
@@ -66,6 +212,9 @@ void Corpus::Finalize() {
       auto it = b.cross_language_links.find(a.language);
       if (it == b.cross_language_links.end()) {
         b.cross_language_links[a.language] = a.title;
+        if (report != nullptr) {
+          report->backlinks_added.push_back({other, a.language, a.title});
+        }
       }
     }
   }

@@ -19,6 +19,23 @@
 namespace wikimatch {
 namespace wiki {
 
+/// \brief What Finalize() changed on already-present records: entity types
+/// it derived and cross-language backlinks it induced. These are the only
+/// two record mutations Finalize performs, so a caller holding this report
+/// (plus its own edits) knows every record that differs from the
+/// pre-Finalize state — the basis of incremental change tracking.
+struct FinalizeReport {
+  /// Articles whose empty entity_type was derived from their infobox.
+  std::vector<ArticleId> entity_type_derived;
+  struct Backlink {
+    ArticleId id;          ///< article that gained the link
+    std::string language;  ///< key of the inserted cross_language_links entry
+    std::string title;     ///< value of the inserted entry
+  };
+  /// Backlinks inserted by link symmetrization.
+  std::vector<Backlink> backlinks_added;
+};
+
 /// \brief In-memory multilingual corpus.
 ///
 /// Usage: AddArticle() / IngestDump() all articles, then Finalize() once.
@@ -32,6 +49,34 @@ class Corpus {
   /// (language, title).
   util::Result<ArticleId> AddArticle(Article article);
 
+  /// \brief Deep copy of `base`, with the article payload copied by up to
+  /// `num_threads` workers. Equivalent to the copy constructor; the
+  /// parallelism only splits the per-article string copies, so the result
+  /// is identical at any thread count.
+  static Corpus ParallelCopy(const Corpus& base, size_t num_threads);
+
+  /// \brief Replaces the article at `id` in place. The replacement must
+  /// carry the same (language, title) key, so the title and language
+  /// indexes stay valid; everything else may change. Un-finalizes the
+  /// corpus — call Finalize() when done mutating.
+  util::Status ReplaceArticle(ArticleId id, Article article);
+
+  /// \brief Removes the given articles. Ids of later articles shift down
+  /// (articles keep their relative order); the title and language indexes
+  /// are patched in place. Un-finalizes the corpus — call Finalize() when
+  /// done mutating.
+  void EraseArticles(std::vector<ArticleId> ids);
+
+  /// \brief Removes the last `n` articles (inverse of `n` AddArticle
+  /// calls). Un-finalizes the corpus.
+  void PopArticles(size_t n);
+
+  /// \brief Re-inserts articles previously removed by EraseArticles, at the
+  /// ids they originally occupied; later articles shift back up. The exact
+  /// inverse of EraseArticles(ids) when given the same ids with the
+  /// removed records. Un-finalizes the corpus.
+  void RestoreArticles(std::vector<std::pair<ArticleId, Article>> originals);
+
   /// \brief Parses every main-namespace, non-redirect page of a dump with
   /// `parser` and adds the results. Returns the number of articles added.
   util::Result<size_t> IngestDump(const std::vector<DumpPage>& pages,
@@ -40,8 +85,10 @@ class Corpus {
 
   /// \brief Resolves entity types (from infobox templates), symmetrizes the
   /// cross-language link graph (if A links to B, B links to A), and builds
-  /// per-type indexes. Idempotent.
-  void Finalize();
+  /// per-type indexes. Idempotent. When `report` is non-null, every record
+  /// mutation performed is appended to it (nothing is recorded when the
+  /// corpus was already finalized).
+  void Finalize(FinalizeReport* report = nullptr);
 
   size_t size() const { return articles_.size(); }
 

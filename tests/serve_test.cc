@@ -236,6 +236,176 @@ TEST(ServeTest, ConcurrentHandleIsSafeAndConsistent) {
   EXPECT_EQ(stats.requests, 4u + 8u * 50u);
 }
 
+// -------------------------------------------------------------- hot reload
+
+// Writes a copy of the fixture snapshot stamped as generation `gen` with
+// `gen` delta records — same matching payload, distinguishable meta.
+std::string WriteGenerationSnapshot(uint64_t gen, const std::string& name) {
+  const Fixture& f = GetFixture();
+  store::Snapshot snapshot;
+  snapshot.corpus = f.gc.corpus;
+  snapshot.dictionary = f.dictionary;
+  snapshot.pipelines.emplace(store::LanguagePair("pt", "en"), f.result);
+  snapshot.meta.generation = gen;
+  for (uint64_t g = 1; g <= gen; ++g) {
+    snapshot.meta.history.push_back({g, 1, 0, 0, 1, 0});
+  }
+  std::string path = ::testing::TempDir() + "/" + name;
+  auto status = store::WriteSnapshotFile(snapshot, path);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return path;
+}
+
+TEST(ServeTest, StatsCarryGenerationAndUptime) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.generation, 0u);
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_GT(stats.loaded_unix, 0);
+  EXPECT_GE(stats.uptime_s, 0.0);
+  EXPECT_GE(stats.generation_age_s, 0.0);
+  std::string response = (*service)->Handle("stats");
+  ASSERT_EQ(response.compare(0, 3, "ok "), 0) << response;
+  EXPECT_NE(response.find(" generation=0 "), std::string::npos) << response;
+  EXPECT_NE(response.find(" loads=1 "), std::string::npos) << response;
+  EXPECT_NE(response.find(" loaded_unix="), std::string::npos) << response;
+  EXPECT_NE(response.find(" uptime_s="), std::string::npos) << response;
+  EXPECT_NE(response.find(" generation_age_s="), std::string::npos)
+      << response;
+}
+
+TEST(ServeTest, GenerationVerbDescribesTheServedSnapshot) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  std::string response = (*service)->Handle("generation");
+  ASSERT_EQ(response.compare(0, 5, "ok 1\n"), 0) << response;
+  EXPECT_NE(response.find("generation=0 "), std::string::npos) << response;
+  EXPECT_NE(response.find(" load_seq=1 "), std::string::npos) << response;
+  EXPECT_NE(response.find(" deltas_applied=0"), std::string::npos)
+      << response;
+}
+
+TEST(ServeTest, ReloadSwapsGenerationAndInvalidatesCache) {
+  std::string next = WriteGenerationSnapshot(1, "serve_reload_g1.snap");
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->Generation(), 0u);
+
+  const std::string request = "alignments pt:en film";
+  std::string before = (*service)->Handle(request);
+  (*service)->Handle(request);
+  EXPECT_EQ((*service)->Stats().cache.hits, 1u);
+
+  std::string response = (*service)->Handle("reload " + next);
+  ASSERT_EQ(response.compare(0, 3, "ok "), 0) << response;
+  EXPECT_NE(response.find("reloaded generation=1 load_seq=2"),
+            std::string::npos)
+      << response;
+  EXPECT_EQ((*service)->Generation(), 1u);
+  EXPECT_EQ((*service)->Stats().loads, 2u);
+
+  // Same request: the generation-tagged key makes it a miss, not a stale
+  // hit — and the answer (same matching payload) is unchanged. Misses are
+  // 3, not 2: the uncacheable reload line itself probed the cache once.
+  std::string after = (*service)->Handle(request);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ((*service)->Stats().cache.hits, 1u);
+  EXPECT_EQ((*service)->Stats().cache.misses, 3u);
+
+  // The generation verb reflects the delta manifest.
+  std::string gen_line = (*service)->Handle("generation");
+  EXPECT_NE(gen_line.find("generation=1 "), std::string::npos) << gen_line;
+  EXPECT_NE(gen_line.find(" deltas_applied=1"), std::string::npos)
+      << gen_line;
+  std::remove(next.c_str());
+}
+
+TEST(ServeTest, FailedReloadKeepsServingThePreviousGeneration) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  std::string baseline = (*service)->Handle("alignments pt:en film");
+  auto status = (*service)->Reload("/nonexistent/next.snap");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ((*service)->Generation(), 0u);
+  EXPECT_EQ((*service)->Stats().loads, 1u);
+  EXPECT_EQ((*service)->Handle("alignments pt:en film"), baseline);
+  // The reload verb reports the failure as a protocol error.
+  std::string response = (*service)->Handle("reload /nonexistent/next.snap");
+  EXPECT_EQ(response.compare(0, 3, "err"), 0) << response;
+}
+
+TEST(ServeTest, ReloadWithoutPathReusesTheLastSource) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  EXPECT_TRUE((*service)->Reload().ok());  // re-reads snapshot_path
+  EXPECT_EQ((*service)->Stats().loads, 2u);
+
+  // A service built from memory has no source to re-read.
+  store::Snapshot snapshot;
+  snapshot.corpus = GetFixture().gc.corpus;
+  snapshot.dictionary = GetFixture().dictionary;
+  snapshot.pipelines.emplace(store::LanguagePair("pt", "en"),
+                             GetFixture().result);
+  auto in_memory = MatchService::Create(std::move(snapshot));
+  auto status = in_memory->Reload();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+}
+
+// Satellite of the reload design: readers must never observe a torn or
+// dropped response while a writer hot-swaps generations under them. Runs
+// under TSan via tools/check.sh.
+TEST(ServeTest, ConcurrentReloadDropsNoRequests) {
+  std::string next = WriteGenerationSnapshot(1, "serve_stress_g1.snap");
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  const std::vector<std::string> requests = {
+      std::string("query pt:en ") + kQuery,
+      "alignments pt:en film",
+      "types pt:en",
+      "attr pt:en film en starring",
+  };
+  std::vector<std::string> baselines;
+  for (const auto& request : requests) {
+    baselines.push_back((*service)->Handle(request));
+    ASSERT_EQ(baselines.back().compare(0, 3, "ok "), 0) << baselines.back();
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failed_reloads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&, t]() {
+      for (int i = 0; i < 60; ++i) {
+        size_t pick = (i + t) % requests.size();
+        // Both snapshots carry the same matching payload, so every
+        // response must be byte-identical to the baseline no matter which
+        // generation serves it.
+        if ((*service)->Handle(requests[pick]) != baselines[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread writer([&]() {
+    for (int i = 0; i < 14; ++i) {
+      const std::string& path =
+          i % 2 == 0 ? next : GetFixture().snapshot_path;
+      if (!(*service)->Reload(path).ok()) failed_reloads.fetch_add(1);
+    }
+  });
+  for (auto& reader : readers) reader.join();
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failed_reloads.load(), 0);
+  EXPECT_EQ((*service)->Stats().loads, 15u);
+  ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.requests, 4u + 6u * 60u);
+  EXPECT_EQ(stats.errors, 0u);
+  std::remove(next.c_str());
+}
+
 // ----------------------------------------------------------------- protocol
 
 TEST(ServeTest, ServeLoopSpeaksTheLineProtocol) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "match/pipeline.h"
@@ -330,6 +331,148 @@ TEST(StoreTest, SectionSizeBeyondFileIsRejected) {
   auto loaded = ReadSnapshotFile(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), util::StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- meta + stats compat
+
+TEST(StoreTest, MetaSectionRoundTrip) {
+  Snapshot snapshot = MakeSnapshot();
+  snapshot.meta.generation = 3;
+  snapshot.meta.history.push_back({1, 10, 2, 1, 12, 2});
+  snapshot.meta.history.push_back({3, 0, 5, 0, 13, 1});
+  std::string path = TempPath("meta.snap");
+  ASSERT_TRUE(WriteSnapshotFile(snapshot, path).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->meta.generation, 3u);
+  ASSERT_EQ(loaded->meta.history.size(), 2u);
+  EXPECT_EQ(loaded->meta.history[0].generation, 1u);
+  EXPECT_EQ(loaded->meta.history[0].articles_added, 10u);
+  EXPECT_EQ(loaded->meta.history[0].units_reused, 12u);
+  EXPECT_EQ(loaded->meta.history[1].generation, 3u);
+  EXPECT_EQ(loaded->meta.history[1].articles_updated, 5u);
+  EXPECT_EQ(loaded->meta.history[1].units_recomputed, 1u);
+  // The other sections still load alongside the meta section.
+  EXPECT_EQ(loaded->corpus.size(), GetFixture().gc.corpus.size());
+  ASSERT_EQ(loaded->pipelines.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, Generation0SnapshotOmitsMetaSection) {
+  std::string path = TempPath("gen0.snap");
+  ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  uint32_t section_count;
+  std::memcpy(&section_count, bytes.data() + 8, 4);
+  EXPECT_EQ(section_count, 3u);  // corpus, dictionary, one pipeline — no meta
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->meta.generation, 0u);
+  EXPECT_TRUE(loaded->meta.history.empty());
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, PerUnitAlignStatsRoundTrip) {
+  const match::PipelineResult& original = GetFixture().result;
+  ASSERT_FALSE(original.per_type.empty());
+  ASSERT_GT(original.per_type[0].alignment.stats.groups, 0u);
+  util::BinaryWriter w;
+  match::EncodePipelineResult(original, &w);
+  util::BinaryReader r(w.buffer());
+  auto decoded = match::DecodePipelineResult(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stats.type_pairs, original.stats.type_pairs);
+  EXPECT_EQ(decoded->stats.align.groups, original.stats.align.groups);
+  ASSERT_EQ(decoded->per_type.size(), original.per_type.size());
+  for (size_t i = 0; i < original.per_type.size(); ++i) {
+    const auto& a = original.per_type[i].alignment.stats;
+    const auto& b = decoded->per_type[i].alignment.stats;
+    EXPECT_EQ(a.groups, b.groups);
+    EXPECT_EQ(a.pairs_total, b.pairs_total);
+    EXPECT_EQ(a.pairs_generated, b.pairs_generated);
+    EXPECT_EQ(a.pairs_pruned, b.pairs_pruned);
+    EXPECT_EQ(a.postings_visited, b.postings_visited);
+  }
+}
+
+// Rewrites the pipeline section of a written snapshot with its payload cut
+// short by `cut` trailing bytes — size and CRC fields updated to match, so
+// the file is exactly what an older writer (without the appended stats, or
+// with fewer of them) would have produced.
+std::string CutPipelinePayload(std::string bytes, size_t cut) {
+  size_t pos = 16;
+  while (pos + 16 <= bytes.size()) {
+    uint32_t kind;
+    uint64_t size;
+    std::memcpy(&kind, bytes.data() + pos, 4);
+    std::memcpy(&size, bytes.data() + pos + 4, 8);
+    if (static_cast<SectionKind>(kind) == SectionKind::kPipeline) {
+      EXPECT_LT(cut, size);
+      uint64_t new_size = size - cut;
+      std::string payload = bytes.substr(pos + 16, new_size);
+      uint32_t crc = Crc32(payload);
+      std::memcpy(bytes.data() + pos + 4, &new_size, 8);
+      std::memcpy(bytes.data() + pos + 12, &crc, 4);
+      bytes.erase(pos + 16 + new_size, cut);
+      return bytes;
+    }
+    pos += 16 + size;
+  }
+  ADD_FAILURE() << "no pipeline section found";
+  return bytes;
+}
+
+// The trailing stats of a pipeline payload (aggregate PipelineStats plus
+// the per-unit AlignStats block) are an optional region: a snapshot whose
+// payload stops anywhere inside it must load cleanly with the missing
+// stats defaulted, never error (forward compatibility with files written
+// before each append).
+TEST(StoreTest, TruncatedAppendedStatsLoadWithStatsAbsent) {
+  const match::PipelineResult& original = GetFixture().result;
+  const size_t n = original.per_type.size();
+  ASSERT_GT(n, 0u);
+  ASSERT_GT(original.stats.align.groups, 0u);
+  const size_t per_unit_block = 8 + n * 5 * 8;  // count + 5 counters each
+  const size_t aggregate = 14 * 8;              // PipelineStats fields
+
+  std::string path = TempPath("oldstats.snap");
+  ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  struct Case {
+    const char* name;
+    size_t cut;
+    bool aggregate_present;
+  } cases[] = {
+      // Payload ends right before the aggregate stats (a v1 writer).
+      {"no stats at all", per_unit_block + aggregate, false},
+      // Payload ends mid-way through the aggregate stats.
+      {"inside aggregate stats", per_unit_block + aggregate / 2, false},
+      // Aggregate complete, per-unit block absent (an intermediate writer).
+      {"no per-unit block", per_unit_block, true},
+      // Payload ends mid-way through the per-unit block.
+      {"inside per-unit block", per_unit_block / 2, true},
+  };
+  for (const Case& c : cases) {
+    WriteFileBytes(path, CutPipelinePayload(bytes, c.cut));
+    auto loaded = ReadSnapshotFile(path);
+    ASSERT_TRUE(loaded.ok()) << c.name << ": " << loaded.status().ToString();
+    const auto& result = loaded->pipelines.at(LanguagePair("pt", "en"));
+    // Alignment content is intact either way.
+    ASSERT_EQ(result.per_type.size(), n) << c.name;
+    EXPECT_EQ(result.per_type[0].alignment.matches.Clusters(),
+              original.per_type[0].alignment.matches.Clusters());
+    if (c.aggregate_present) {
+      EXPECT_EQ(result.stats.align.groups, original.stats.align.groups)
+          << c.name;
+    } else {
+      EXPECT_EQ(result.stats.align.groups, 0u) << c.name;
+      EXPECT_EQ(result.stats.type_pairs, 0u) << c.name;
+    }
+    // The per-unit stats are absent (defaulted) in every truncated case.
+    EXPECT_EQ(result.per_type[0].alignment.stats.groups, 0u) << c.name;
+  }
   std::remove(path.c_str());
 }
 

@@ -16,6 +16,14 @@ cmake --build "$BUILD_DIR" -j
 # naive path bit-for-bit (exits nonzero on divergence).
 "$BUILD_DIR"/bench/bench_align --smoke
 
+# Bench artifacts: committed JSON snapshots of the three headline benches,
+# regenerated here so the numbers in the repo root track the code. Each
+# bench self-checks (bench_align asserts indexed==naive, bench_ingest
+# asserts incremental==rebuild bytes) and exits nonzero on divergence.
+"$BUILD_DIR"/bench/bench_align > BENCH_align.json
+"$BUILD_DIR"/bench/bench_serve_throughput > BENCH_serve.json
+"$BUILD_DIR"/bench/bench_ingest > BENCH_ingest.json
+
 # TSan stage: rebuild the thread-touching tests with -fsanitize=thread and
 # run them. Skipped gracefully when the toolchain lacks TSan support so the
 # tier-1 gate never depends on it.
@@ -24,11 +32,15 @@ if [[ "${WIKIMATCH_SKIP_TSAN:-0}" != "1" ]]; then
     TSAN_DIR="${TSAN_DIR:-build-tsan}"
     cmake -B "$TSAN_DIR" -S . -DWIKIMATCH_SANITIZE=thread \
       -DWIKIMATCH_BUILD_BENCHMARKS=OFF -DWIKIMATCH_BUILD_EXAMPLES=OFF
-    cmake --build "$TSAN_DIR" -j --target parallel_test align_join_test
+    cmake --build "$TSAN_DIR" -j --target parallel_test align_join_test \
+      serve_test
     # Run the binaries directly: ctest's gtest discovery would flag every
     # deliberately-unbuilt sibling test target as <name>_NOT_BUILT.
     "$TSAN_DIR"/tests/parallel_test
     "$TSAN_DIR"/tests/align_join_test
+    # serve_test includes the concurrent-reload stress (queries racing a
+    # generation swap) — the serving-path race detector.
+    "$TSAN_DIR"/tests/serve_test
   else
     echo "check.sh: compiler lacks -fsanitize=thread, skipping TSan stage" >&2
   fi
