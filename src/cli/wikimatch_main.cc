@@ -470,7 +470,12 @@ int RunBuildSnapshot(const Args& args) {
       return 1;
     }
   }
-  status = writer->Finish();
+  // Stamp the options fingerprint so a later apply-delta can refuse to
+  // reuse unit results computed under different thresholds.
+  store::SnapshotMeta meta;
+  meta.options = store::OptionsFingerprint::From(options);
+  status = writer->WriteMeta(meta);
+  if (status.ok()) status = writer->Finish();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
@@ -542,8 +547,13 @@ int RunApplyDelta(const Args& args) {
   if (args.align_threads > 0) {
     options.matcher.num_threads = args.align_threads;
   }
-  ingest::IncrementalMatcher matcher = ingest::IncrementalMatcher::
-      FromSnapshot(std::move(snapshot).ValueOrDie(), options);
+  auto matcher_or = ingest::IncrementalMatcher::FromSnapshot(
+      std::move(snapshot).ValueOrDie(), options);
+  if (!matcher_or.ok()) {
+    std::fprintf(stderr, "%s\n", matcher_or.status().ToString().c_str());
+    return 1;
+  }
+  ingest::IncrementalMatcher matcher = std::move(matcher_or).ValueOrDie();
   auto batch = BuildDeltaBatch(args, matcher.corpus());
   if (!batch.ok()) {
     std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());

@@ -4,12 +4,15 @@
 #include <chrono>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <tuple>
 
 #include "match/schema_builder.h"
 #include "match/type_matcher.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
+#include "util/thread_annotations.h"
 
 namespace wikimatch {
 namespace ingest {
@@ -55,18 +58,29 @@ std::string ApplyStats::ToString() const {
   return os.str();
 }
 
+struct IncrementalMatcher::ReclaimerSlot {
+  util::Mutex mu;
+  std::thread thread WIKIMATCH_GUARDED_BY(mu);
+};
+
 IncrementalMatcher::IncrementalMatcher(
     wiki::Corpus corpus, std::map<LanguagePair, match::PipelineResult> results,
     match::PipelineOptions options)
     : corpus_(std::move(corpus)),
       results_(std::move(results)),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      reclaimer_(std::make_unique<ReclaimerSlot>()) {
   dictionary_.Build(corpus_, options_.num_threads);
   RebuildFootprints();
 }
 
+IncrementalMatcher::IncrementalMatcher(IncrementalMatcher&&) noexcept =
+    default;
+
 IncrementalMatcher::~IncrementalMatcher() {
-  if (reclaimer_.joinable()) reclaimer_.join();
+  if (reclaimer_ == nullptr) return;  // moved-from shell
+  util::MutexLock lock(reclaimer_->mu);
+  if (reclaimer_->thread.joinable()) reclaimer_->thread.join();
 }
 
 struct IncrementalMatcher::RetiredState {
@@ -76,13 +90,25 @@ struct IncrementalMatcher::RetiredState {
 };
 
 void IncrementalMatcher::ReclaimAsync(std::unique_ptr<RetiredState> retired) {
-  if (reclaimer_.joinable()) reclaimer_.join();
-  reclaimer_ =
+  util::MutexLock lock(reclaimer_->mu);
+  if (reclaimer_->thread.joinable()) reclaimer_->thread.join();
+  reclaimer_->thread =
       std::thread([state = std::move(retired)]() mutable { state.reset(); });
 }
 
-IncrementalMatcher IncrementalMatcher::FromSnapshot(
+util::Result<IncrementalMatcher> IncrementalMatcher::FromSnapshot(
     store::Snapshot snapshot, match::PipelineOptions options) {
+  if (snapshot.meta.options.has_value()) {
+    store::OptionsFingerprint supplied =
+        store::OptionsFingerprint::From(options);
+    if (!(supplied == *snapshot.meta.options)) {
+      return util::Status::InvalidArgument(
+          "snapshot was built with different matcher options than supplied "
+          "— unit reuse would silently diverge from a rebuild; pass the "
+          "build options (snapshot: " + snapshot.meta.options->ToString() +
+          "; supplied: " + supplied.ToString() + ")");
+    }
+  }
   IncrementalMatcher matcher(std::move(snapshot.corpus),
                              std::move(snapshot.pipelines),
                              std::move(options));
@@ -430,6 +456,9 @@ util::Result<ApplyStats> IncrementalMatcher::Apply(const DeltaBatch& batch) {
   footprints_ = std::move(new_footprints);
   ReclaimAsync(std::move(retired));
   ++meta_.generation;
+  // Stamp the options the new generation's units were (re)computed under;
+  // the next FromSnapshot rejects an apply with different options.
+  meta_.options = store::OptionsFingerprint::From(options_);
   stats.generation = meta_.generation;
   store::DeltaRecord record;
   record.generation = meta_.generation;

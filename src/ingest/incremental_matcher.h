@@ -45,7 +45,6 @@
 #include <memory>
 #include <set>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -91,16 +90,22 @@ class IncrementalMatcher {
                      std::map<LanguagePair, match::PipelineResult> results,
                      match::PipelineOptions options = {});
 
-  /// \brief Wraps a loaded snapshot. Thresholds are not persisted in
-  /// snapshots, so the caller supplies the options the snapshot was built
-  /// with (the defaults for snapshots from `wikimatch build-snapshot`).
-  static IncrementalMatcher FromSnapshot(store::Snapshot snapshot,
-                                         match::PipelineOptions options = {});
+  /// \brief Wraps a loaded snapshot. The caller supplies the options the
+  /// snapshot was built with (the defaults for snapshots from
+  /// `wikimatch build-snapshot`); when the snapshot's meta section carries
+  /// an options fingerprint (every snapshot written since fingerprints
+  /// were added), a mismatch against the supplied options fails with
+  /// InvalidArgument naming both sides — the unit-reuse guarantee is only
+  /// relative to matching options, so a silent mismatch would corrupt
+  /// results. Fingerprint-less (older) snapshots are trusted as before.
+  static util::Result<IncrementalMatcher> FromSnapshot(
+      store::Snapshot snapshot, match::PipelineOptions options = {});
 
   /// Movable (FromSnapshot returns by value), not copyable or assignable:
   /// the matcher owns a background reclaimer thread for retired
-  /// generation state, joined on destruction.
-  IncrementalMatcher(IncrementalMatcher&&) = default;
+  /// generation state, joined on destruction. Defined out of line where
+  /// ReclaimerSlot is complete.
+  IncrementalMatcher(IncrementalMatcher&&) noexcept;
   IncrementalMatcher& operator=(IncrementalMatcher&&) = delete;
   ~IncrementalMatcher();
 
@@ -149,6 +154,11 @@ class IncrementalMatcher {
   /// (several ms of pure deallocation at corpus scale) can be handed to a
   /// background thread instead of riding the Apply critical path.
   struct RetiredState;
+  /// The reclaimer thread plus the mutex that guards its handle, bundled
+  /// behind a unique_ptr so the matcher stays movable (a util::Mutex
+  /// member is not) and the thread-safety analysis can prove every
+  /// join/launch of the handle happens under the lock.
+  struct ReclaimerSlot;
   void ReclaimAsync(std::unique_ptr<RetiredState> retired);
 
   wiki::Corpus corpus_;
@@ -157,7 +167,7 @@ class IncrementalMatcher {
   std::map<LanguagePair, std::map<UnitKey, UnitFootprint>> footprints_;
   match::PipelineOptions options_;
   store::SnapshotMeta meta_;
-  std::thread reclaimer_;
+  std::unique_ptr<ReclaimerSlot> reclaimer_;
 };
 
 }  // namespace ingest

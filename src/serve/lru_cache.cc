@@ -23,7 +23,7 @@ ShardedLruCache::Shard& ShardedLruCache::ShardFor(const std::string& key) {
 
 bool ShardedLruCache::Get(const std::string& key, std::string* value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -38,7 +38,7 @@ bool ShardedLruCache::Get(const std::string& key, std::string* value) {
 void ShardedLruCache::Put(const std::string& key, const std::string& value) {
   if (capacity_per_shard_ == 0) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = value;
@@ -59,7 +59,7 @@ CacheStats ShardedLruCache::Stats() const {
   CacheStats stats;
   stats.capacity = capacity_total_;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
@@ -70,7 +70,7 @@ CacheStats ShardedLruCache::Stats() const {
 
 void ShardedLruCache::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     shard->order.clear();
     shard->index.clear();
   }

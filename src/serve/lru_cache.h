@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace wikimatch {
 namespace serve {
@@ -47,16 +49,17 @@ class ShardedLruCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable util::Mutex mu;
     // Front = most recently used.
-    std::list<std::pair<std::string, std::string>> order;
+    std::list<std::pair<std::string, std::string>> order
+        WIKIMATCH_GUARDED_BY(mu);
     std::unordered_map<
         std::string,
         std::list<std::pair<std::string, std::string>>::iterator>
-        index;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+        index WIKIMATCH_GUARDED_BY(mu);
+    uint64_t hits WIKIMATCH_GUARDED_BY(mu) = 0;
+    uint64_t misses WIKIMATCH_GUARDED_BY(mu) = 0;
+    uint64_t evictions WIKIMATCH_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key);

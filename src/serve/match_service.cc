@@ -107,7 +107,12 @@ util::Result<std::unique_ptr<MatchService>> MatchService::Load(
   auto snapshot = store::ReadSnapshotFile(path);
   if (!snapshot.ok()) return snapshot.status();
   auto service = Create(std::move(snapshot).ValueOrDie(), options);
-  service->source_path_ = path;
+  {
+    // Not yet visible to other threads, but taking the lock keeps the
+    // guarded-field proof unconditional (and it is uncontended here).
+    util::MutexLock lock(service->reload_mu_);
+    service->source_path_ = path;
+  }
   return service;
 }
 
@@ -152,13 +157,13 @@ MatchService::BuildGeneration(store::Snapshot snapshot, uint64_t load_seq) {
 
 std::shared_ptr<const MatchService::GenerationState> MatchService::Current()
     const {
-  std::lock_guard<std::mutex> lock(gen_mu_);
+  util::MutexLock lock(gen_mu_);
   return gen_;
 }
 
 util::Status MatchService::Reload(const std::string& path) {
   // One writer at a time; readers are never blocked by a rebuild.
-  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  util::MutexLock reload_lock(reload_mu_);
   std::string source = path.empty() ? source_path_ : path;
   if (source.empty()) {
     return util::Status::InvalidArgument(
@@ -170,7 +175,7 @@ util::Status MatchService::Reload(const std::string& path) {
   auto gen = BuildGeneration(std::move(snapshot).ValueOrDie(),
                              loads_.load(std::memory_order_relaxed) + 1);
   {
-    std::lock_guard<std::mutex> lock(gen_mu_);
+    util::MutexLock lock(gen_mu_);
     gen_ = std::move(gen);
   }
   loads_.fetch_add(1, std::memory_order_relaxed);

@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,7 +38,9 @@
 #include "query/translator.h"
 #include "serve/lru_cache.h"
 #include "store/snapshot.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace wikimatch {
 namespace serve {
@@ -176,11 +177,13 @@ class MatchService {
   ShardedLruCache cache_;
   Clock::time_point started_;
 
-  mutable std::mutex gen_mu_;  // guards gen_ (pointer copy + swap only)
-  std::shared_ptr<const GenerationState> gen_;
+  // Guards gen_ (pointer copy + swap only). The pointed-to GenerationState
+  // is immutable after BuildGeneration, so only the pointer needs a lock.
+  mutable util::Mutex gen_mu_;
+  std::shared_ptr<const GenerationState> gen_ WIKIMATCH_GUARDED_BY(gen_mu_);
 
-  std::mutex reload_mu_;  // serializes writers; guards source_path_
-  std::string source_path_;
+  util::Mutex reload_mu_;  // serializes writers; guards source_path_
+  std::string source_path_ WIKIMATCH_GUARDED_BY(reload_mu_);
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};

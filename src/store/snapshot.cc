@@ -1,6 +1,7 @@
 #include "store/snapshot.h"
 
 #include <cstring>
+#include <sstream>
 
 #include "match/serialize.h"
 #include "store/crc32.h"
@@ -31,6 +32,58 @@ util::Status WriteAll(std::FILE* file, const std::string& bytes) {
 }
 
 }  // namespace
+
+OptionsFingerprint OptionsFingerprint::From(
+    const match::PipelineOptions& options) {
+  OptionsFingerprint fp;
+  const match::MatcherConfig& m = options.matcher;
+  fp.t_sim = m.t_sim;
+  fp.t_lsi = m.t_lsi;
+  fp.t_inductive = m.t_inductive;
+  fp.t_revise_min_sim = m.t_revise_min_sim;
+  fp.min_link_support = m.min_link_support;
+  fp.lsi_rank = m.lsi.rank;
+  fp.lsi_co_occur_tolerance = m.lsi.co_occur_tolerance;
+  fp.use_vsim = m.use_vsim;
+  fp.use_lsim = m.use_lsim;
+  fp.use_lsi = m.use_lsi;
+  fp.use_integrate_constraint = m.use_integrate_constraint;
+  fp.use_revise_uncertain = m.use_revise_uncertain;
+  fp.use_inductive_grouping = m.use_inductive_grouping;
+  fp.random_order = m.random_order;
+  fp.single_step = m.single_step;
+  fp.random_seed = m.random_seed;
+  fp.keep_all_pairs = m.keep_all_pairs;
+  fp.translate_values = options.schema.translate_values;
+  fp.schema_min_occurrences = options.schema.min_occurrences;
+  fp.schema_max_sample_infoboxes = options.schema.max_sample_infoboxes;
+  fp.type_min_votes = options.type_min_votes;
+  fp.type_min_confidence = options.type_min_confidence;
+  return fp;
+}
+
+std::string OptionsFingerprint::ToString() const {
+  std::ostringstream os;
+  os << "t_sim=" << t_sim << " t_lsi=" << t_lsi
+     << " t_inductive=" << t_inductive
+     << " t_revise_min_sim=" << t_revise_min_sim
+     << " min_link_support=" << min_link_support << " lsi_rank=" << lsi_rank
+     << " lsi_co_occur_tolerance=" << lsi_co_occur_tolerance
+     << " use_vsim=" << use_vsim << " use_lsim=" << use_lsim
+     << " use_lsi=" << use_lsi
+     << " use_integrate_constraint=" << use_integrate_constraint
+     << " use_revise_uncertain=" << use_revise_uncertain
+     << " use_inductive_grouping=" << use_inductive_grouping
+     << " random_order=" << random_order << " single_step=" << single_step
+     << " random_seed=" << random_seed
+     << " keep_all_pairs=" << keep_all_pairs
+     << " translate_values=" << translate_values
+     << " schema_min_occurrences=" << schema_min_occurrences
+     << " schema_max_sample_infoboxes=" << schema_max_sample_infoboxes
+     << " type_min_votes=" << type_min_votes
+     << " type_min_confidence=" << type_min_confidence;
+  return os.str();
+}
 
 util::Result<SnapshotWriter> SnapshotWriter::Open(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
@@ -113,6 +166,37 @@ util::Status SnapshotWriter::WriteMeta(const SnapshotMeta& meta) {
     w.PutU64(rec.articles_removed);
     w.PutU64(rec.units_reused);
     w.PutU64(rec.units_recomputed);
+  }
+  // Options fingerprint: trailing fields appended after the original
+  // payload, so old readers (which stop after the history) never see them
+  // and a meta section without a fingerprint keeps its original bytes — an
+  // additive extension, no version bump. A present fingerprint starts with
+  // a 1 flag byte; absence writes nothing at all.
+  if (meta.options.has_value()) {
+    const OptionsFingerprint& fp = *meta.options;
+    w.PutU8(1);
+    w.PutDouble(fp.t_sim);
+    w.PutDouble(fp.t_lsi);
+    w.PutDouble(fp.t_inductive);
+    w.PutDouble(fp.t_revise_min_sim);
+    w.PutDouble(fp.min_link_support);
+    w.PutU64(fp.lsi_rank);
+    w.PutDouble(fp.lsi_co_occur_tolerance);
+    w.PutU8(fp.use_vsim ? 1 : 0);
+    w.PutU8(fp.use_lsim ? 1 : 0);
+    w.PutU8(fp.use_lsi ? 1 : 0);
+    w.PutU8(fp.use_integrate_constraint ? 1 : 0);
+    w.PutU8(fp.use_revise_uncertain ? 1 : 0);
+    w.PutU8(fp.use_inductive_grouping ? 1 : 0);
+    w.PutU8(fp.random_order ? 1 : 0);
+    w.PutU8(fp.single_step ? 1 : 0);
+    w.PutU64(fp.random_seed);
+    w.PutU8(fp.keep_all_pairs ? 1 : 0);
+    w.PutU8(fp.translate_values ? 1 : 0);
+    w.PutU64(fp.schema_min_occurrences);
+    w.PutU64(fp.schema_max_sample_infoboxes);
+    w.PutU64(fp.type_min_votes);
+    w.PutDouble(fp.type_min_confidence);
   }
   return WriteSection(SectionKind::kMeta, w.buffer());
 }
@@ -298,7 +382,59 @@ util::Result<Snapshot> ReadSnapshotFile(const std::string& path) {
           }
           meta.history.push_back(rec);
         }
-        // Trailing bytes (fields appended by a newer writer) are ignored.
+        // Options fingerprint: optional trailing fields. Files from
+        // writers that predate it simply end here (flag read fails on
+        // exhausted payload → absent); a zero flag byte also means absent.
+        if (auto flag = pr.ReadU8(); flag.ok() && flag.ValueOrDie() == 1) {
+          OptionsFingerprint fp;
+          auto rd = [&pr](double* out) {
+            auto v = pr.ReadDouble();
+            if (!v.ok()) return v.status();
+            *out = v.ValueOrDie();
+            return util::Status::OK();
+          };
+          auto ru = [&pr](uint64_t* out) {
+            auto v = pr.ReadU64();
+            if (!v.ok()) return v.status();
+            *out = v.ValueOrDie();
+            return util::Status::OK();
+          };
+          auto rb = [&pr](bool* out) {
+            auto v = pr.ReadU8();
+            if (!v.ok()) return v.status();
+            *out = v.ValueOrDie() != 0;
+            return util::Status::OK();
+          };
+          util::Status st = util::Status::OK();
+          if (st.ok()) st = rd(&fp.t_sim);
+          if (st.ok()) st = rd(&fp.t_lsi);
+          if (st.ok()) st = rd(&fp.t_inductive);
+          if (st.ok()) st = rd(&fp.t_revise_min_sim);
+          if (st.ok()) st = rd(&fp.min_link_support);
+          if (st.ok()) st = ru(&fp.lsi_rank);
+          if (st.ok()) st = rd(&fp.lsi_co_occur_tolerance);
+          if (st.ok()) st = rb(&fp.use_vsim);
+          if (st.ok()) st = rb(&fp.use_lsim);
+          if (st.ok()) st = rb(&fp.use_lsi);
+          if (st.ok()) st = rb(&fp.use_integrate_constraint);
+          if (st.ok()) st = rb(&fp.use_revise_uncertain);
+          if (st.ok()) st = rb(&fp.use_inductive_grouping);
+          if (st.ok()) st = rb(&fp.random_order);
+          if (st.ok()) st = rb(&fp.single_step);
+          if (st.ok()) st = ru(&fp.random_seed);
+          if (st.ok()) st = rb(&fp.keep_all_pairs);
+          if (st.ok()) st = rb(&fp.translate_values);
+          if (st.ok()) st = ru(&fp.schema_min_occurrences);
+          if (st.ok()) st = ru(&fp.schema_max_sample_infoboxes);
+          if (st.ok()) st = ru(&fp.type_min_votes);
+          if (st.ok()) st = rd(&fp.type_min_confidence);
+          if (!st.ok()) {
+            return st.WithContext("snapshot meta options fingerprint");
+          }
+          meta.options = fp;
+        }
+        // Any further trailing bytes (fields appended by a newer writer)
+        // are ignored.
         snapshot.meta = std::move(meta);
         break;
       }

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,18 +63,73 @@ struct DeltaRecord {
   uint64_t units_recomputed = 0;
 };
 
-/// \brief Generation number + delta manifest (section kind 4).
+/// \brief The result-affecting subset of match::PipelineOptions, persisted
+/// in the snapshot meta section so `apply-delta` can verify it reuses unit
+/// results under the exact options that produced them (docs/INGEST.md).
+///
+/// Execution-only switches are deliberately excluded: num_threads (both
+/// levels) and use_indexed_join change wall clock, never bytes — the
+/// equivalence suites assert that — so they are free to differ between the
+/// build and the apply.
+struct OptionsFingerprint {
+  // MatcherConfig thresholds.
+  double t_sim = 0.0;
+  double t_lsi = 0.0;
+  double t_inductive = 0.0;
+  double t_revise_min_sim = 0.0;
+  double min_link_support = 0.0;
+  uint64_t lsi_rank = 0;
+  double lsi_co_occur_tolerance = 0.0;
+  // MatcherConfig ablation switches.
+  bool use_vsim = true;
+  bool use_lsim = true;
+  bool use_lsi = true;
+  bool use_integrate_constraint = true;
+  bool use_revise_uncertain = true;
+  bool use_inductive_grouping = true;
+  bool random_order = false;
+  bool single_step = false;
+  uint64_t random_seed = 0;
+  bool keep_all_pairs = false;
+  // SchemaBuilderOptions.
+  bool translate_values = true;
+  uint64_t schema_min_occurrences = 0;
+  uint64_t schema_max_sample_infoboxes = 0;
+  // Pipeline-level type-matching thresholds.
+  uint64_t type_min_votes = 0;
+  double type_min_confidence = 0.0;
+
+  /// \brief Extracts the fingerprint of a full options struct.
+  static OptionsFingerprint From(const match::PipelineOptions& options);
+
+  bool operator==(const OptionsFingerprint& other) const = default;
+
+  /// \brief Compact key=value rendering for mismatch diagnostics.
+  std::string ToString() const;
+};
+
+/// \brief Generation number + delta manifest + options fingerprint
+/// (section kind 4).
 ///
 /// A freshly built snapshot is generation 0 with an empty history; each
 /// `wikimatch apply-delta` bumps the generation and appends a DeltaRecord.
 /// The section is written only when non-default, so generation-0 snapshots
-/// are byte-identical to pre-meta ones and old files read back as
-/// generation 0.
+/// without a recorded fingerprint are byte-identical to pre-meta ones and
+/// old files read back as generation 0. The fingerprint rides as trailing
+/// fields of the same payload — old readers ignore trailing bytes and old
+/// files read back with no fingerprint — so neither addition bumped the
+/// format version.
 struct SnapshotMeta {
   uint64_t generation = 0;
   std::vector<DeltaRecord> history;
+  /// Options the pipeline results were built with; absent in snapshots
+  /// from writers that predate the field (then apply-delta trusts the
+  /// caller, the pre-fingerprint behavior).
+  std::optional<OptionsFingerprint> options;
 
-  bool IsDefault() const { return generation == 0 && history.empty(); }
+  bool IsDefault() const {
+    return generation == 0 && history.empty() && !options.has_value();
+  }
 };
 
 /// \brief Everything a snapshot holds, in memory.

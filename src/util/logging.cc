@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace wikimatch {
 namespace util {
@@ -16,8 +17,8 @@ std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 // unsynchronized fputs calls interleave or tear lines. Each statement is
 // formatted into its own buffer first, so the lock is held only for the
 // single write.
-std::mutex& EmitMutex() {
-  static std::mutex mutex;
+Mutex& EmitMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -63,7 +64,7 @@ LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
     const std::string line = stream_.str();
-    std::lock_guard<std::mutex> lock(EmitMutex());
+    MutexLock lock(EmitMutex());
     std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }

@@ -16,9 +16,10 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace wikimatch {
 namespace util {
@@ -39,10 +40,16 @@ inline void ParallelFor(size_t n, size_t threads,
     return;
   }
   threads = std::min(threads, n);
+  // The error slot is shared worker state; it lives in an annotated bundle
+  // so the thread-safety analysis can prove every access is under its
+  // mutex (join() provides the final happens-before, but the locked read
+  // below keeps the proof local and costs nothing after the barrier).
+  struct ErrorSlot {
+    Mutex mu;
+    std::exception_ptr first WIKIMATCH_GUARDED_BY(mu);
+  } error;
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
@@ -53,9 +60,9 @@ inline void ParallelFor(size_t n, size_t threads,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (first_error == nullptr) {
-            first_error = std::current_exception();
+          MutexLock lock(error.mu);
+          if (error.first == nullptr) {
+            error.first = std::current_exception();
           }
           failed.store(true, std::memory_order_relaxed);
         }
@@ -63,6 +70,11 @@ inline void ParallelFor(size_t n, size_t threads,
     });
   }
   for (auto& worker : workers) worker.join();
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(error.mu);
+    first_error = error.first;
+  }
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 

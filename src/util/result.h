@@ -19,8 +19,12 @@ namespace util {
 /// non-OK Status yields the error state. Constructing from an OK Status is a
 /// programming error (asserted in debug builds, converted to Internal error
 /// otherwise).
+///
+/// [[nodiscard]] like Status: a dropped Result silently loses both the
+/// value and the error, so ignoring one fails the build under
+/// -Werror=unused-result (docs/ANALYSIS.md).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Success.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -36,7 +36,15 @@ const char* StatusCodeToString(StatusCode code);
 /// The OK state is represented without allocation; error states carry a
 /// heap-allocated (code, message) record. Status is cheaply movable and
 /// copyable.
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value
+/// is a contract the caller must inspect, and ignoring one is a
+/// compile-time error under -Werror=unused-result (set project-wide by
+/// CMakeLists.txt). Intentional discards — rare, e.g. a best-effort
+/// cleanup whose failure has no fallback — must be spelled
+/// `(void)DoCleanup();` so they read as decisions, not accidents
+/// (docs/ANALYSIS.md).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;

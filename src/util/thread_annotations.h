@@ -1,0 +1,68 @@
+// Clang thread-safety-analysis annotation macros (the capability model of
+// -Wthread-safety), in the style of abseil's base/thread_annotations.h.
+//
+// Under Clang the macros expand to the analysis attributes, so a build with
+// -Werror=thread-safety proves lock discipline at compile time: every read
+// or write of a WIKIMATCH_GUARDED_BY(mu) field must happen while `mu` is
+// held, functions declared WIKIMATCH_REQUIRES(mu) may only be called with
+// `mu` held, and so on. Under GCC (which has no equivalent analysis) every
+// macro expands to nothing, so annotated code compiles identically there.
+//
+// Annotate with the project wrappers in util/mutex.h (util::Mutex is the
+// annotated capability, util::MutexLock the scoped acquirer); raw
+// std::mutex outside util/ is rejected by tools/lint.sh precisely because
+// the analysis cannot see through it. Conventions and the sanitizer/lint
+// matrix are documented in docs/ANALYSIS.md.
+
+#ifndef WIKIMATCH_UTIL_THREAD_ANNOTATIONS_H_
+#define WIKIMATCH_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WIKIMATCH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WIKIMATCH_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a class to be a capability (a lock-like resource).
+#define WIKIMATCH_CAPABILITY(x) WIKIMATCH_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability at construction and
+/// releases it at destruction.
+#define WIKIMATCH_SCOPED_CAPABILITY WIKIMATCH_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while the given capability is held.
+#define WIKIMATCH_GUARDED_BY(x) WIKIMATCH_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data may only be accessed while the capability is held.
+#define WIKIMATCH_PT_GUARDED_BY(x) WIKIMATCH_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability (or capabilities) to be held by the
+/// caller, and does not release them.
+#define WIKIMATCH_REQUIRES(...) \
+  WIKIMATCH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define WIKIMATCH_ACQUIRE(...) \
+  WIKIMATCH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held.
+#define WIKIMATCH_RELEASE(...) \
+  WIKIMATCH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must be called without the capability held (e.g. to document a
+/// non-reentrant lock).
+#define WIKIMATCH_EXCLUDES(...) \
+  WIKIMATCH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (annotates
+/// accessors that expose a mutex).
+#define WIKIMATCH_RETURN_CAPABILITY(x) \
+  WIKIMATCH_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function body. Use only
+/// for true false positives (locking through an alias the analysis cannot
+/// track) and leave a comment explaining why — docs/ANALYSIS.md.
+#define WIKIMATCH_NO_THREAD_SAFETY_ANALYSIS \
+  WIKIMATCH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // WIKIMATCH_UTIL_THREAD_ANNOTATIONS_H_

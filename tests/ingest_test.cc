@@ -366,8 +366,13 @@ TEST(IncrementalMatcherTest, FromSnapshotApplyMatchesFreshRebuild) {
   EXPECT_EQ(snapshot->meta.generation, 1u);
   ASSERT_EQ(snapshot->meta.history.size(), 1u);
 
-  IncrementalMatcher second =
+  // The applied snapshot carries the options fingerprint stamped by
+  // Apply(); defaults here match the defaults `first` ran with.
+  ASSERT_TRUE(snapshot->meta.options.has_value());
+  auto second_or =
       IncrementalMatcher::FromSnapshot(std::move(snapshot).ValueOrDie());
+  ASSERT_TRUE(second_or.ok()) << second_or.status().ToString();
+  IncrementalMatcher second = std::move(second_or).ValueOrDie();
   EXPECT_EQ(second.generation(), 1u);
 
   const wiki::Corpus base_after_1 = second.corpus();
@@ -388,6 +393,47 @@ TEST(IncrementalMatcherTest, FromSnapshotApplyMatchesFreshRebuild) {
   // what the persisted per-unit stats buy.
   EXPECT_GE(stats->units_reused, 1u);
   ExpectMatchesFullRebuild(second, base_after_1, *batch2, f.pairs);
+}
+
+// Apply() stamps the snapshot meta with the options fingerprint; a later
+// FromSnapshot with different result-affecting options must fail loudly
+// (silent unit reuse under other thresholds would corrupt results), while
+// execution-only switches and fingerprint-less legacy snapshots stay
+// accepted.
+TEST(IncrementalMatcherTest, FromSnapshotRejectsMismatchedOptions) {
+  SynthFixture f = MakeSynthFixture();
+  IncrementalMatcher first(f.corpus, f.results);
+  synth::DeltaSpec spec;
+  spec.types_b = {"film"};
+  spec.value_edits = 1;
+  auto batch = synth::MakeDeltaBatch(f.corpus, spec);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(first.Apply(*batch).ok());
+  ASSERT_TRUE(first.ToSnapshot().meta.options.has_value());
+
+  match::PipelineOptions different;
+  different.matcher.t_sim = 0.99;
+  auto rejected = IncrementalMatcher::FromSnapshot(first.ToSnapshot(),
+                                                   different);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kInvalidArgument);
+  // The message names both fingerprints so the operator can diff them.
+  EXPECT_NE(rejected.status().ToString().find("t_sim"), std::string::npos);
+
+  // Thread counts and join strategy change wall clock, never bytes, so
+  // they are not part of the fingerprint.
+  match::PipelineOptions threads_only;
+  threads_only.num_threads = 7;
+  threads_only.matcher.num_threads = 3;
+  EXPECT_TRUE(IncrementalMatcher::FromSnapshot(first.ToSnapshot(),
+                                               threads_only)
+                  .ok());
+
+  // Snapshots from pre-fingerprint writers trust the caller, as before.
+  store::Snapshot legacy = first.ToSnapshot();
+  legacy.meta.options.reset();
+  EXPECT_TRUE(IncrementalMatcher::FromSnapshot(std::move(legacy), different)
+                  .ok());
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// ShardedLruCache unit tests: edge-capacity eviction, exact counter
+// accounting, LRU promotion, and the generation-keyed invalidation scheme
+// MatchService::Handle relies on — exercised here with inserts racing a
+// generation swap, so the TSan stage of tools/check.sh doubles as a race
+// detector for the shard locking.
+
+#include "serve/lru_cache.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wikimatch {
+namespace serve {
+namespace {
+
+TEST(ShardedLruCacheTest, CapacityZeroDisablesCaching) {
+  ShardedLruCache cache(0);
+  std::string value;
+  EXPECT_FALSE(cache.Get("a", &value));
+  cache.Put("a", "1");
+  EXPECT_FALSE(cache.Get("a", &value));
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.capacity, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, CapacityOneEvictsPreviousEntry) {
+  ShardedLruCache cache(1, /*num_shards=*/1);
+  cache.Put("a", "1");
+  cache.Put("b", "2");  // evicts "a"
+  std::string value;
+  EXPECT_FALSE(cache.Get("a", &value));
+  ASSERT_TRUE(cache.Get("b", &value));
+  EXPECT_EQ(value, "2");
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, GetPromotesToMostRecentlyUsed) {
+  ShardedLruCache cache(2, /*num_shards=*/1);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));  // "b" is now least recent
+  cache.Put("c", "3");                  // evicts "b", not "a"
+  EXPECT_TRUE(cache.Get("a", &value));
+  EXPECT_FALSE(cache.Get("b", &value));
+  EXPECT_TRUE(cache.Get("c", &value));
+}
+
+TEST(ShardedLruCacheTest, PutRefreshesExistingKeyWithoutEviction) {
+  ShardedLruCache cache(2, /*num_shards=*/1);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  cache.Put("a", "updated");  // refresh, not an insert — nothing evicted
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));
+  EXPECT_EQ(value, "updated");
+  EXPECT_TRUE(cache.Get("b", &value));
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, StatsCountersAreExact) {
+  ShardedLruCache cache(2, /*num_shards=*/1);
+  std::string value;
+  EXPECT_FALSE(cache.Get("a", &value));  // miss 1
+  cache.Put("a", "1");
+  EXPECT_TRUE(cache.Get("a", &value));   // hit 1
+  cache.Put("b", "2");
+  cache.Put("c", "3");                   // eviction 1 (of "a", LRU)
+  EXPECT_FALSE(cache.Get("a", &value));  // miss 2
+  EXPECT_TRUE(cache.Get("b", &value));   // hit 2
+  EXPECT_TRUE(cache.Get("c", &value));   // hit 3
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+}
+
+TEST(ShardedLruCacheTest, ClearEmptiesEveryShard) {
+  ShardedLruCache cache(64, /*num_shards=*/4);
+  for (int i = 0; i < 32; ++i) {
+    cache.Put("key" + std::to_string(i), "v");
+  }
+  EXPECT_GT(cache.Stats().entries, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  std::string value;
+  EXPECT_FALSE(cache.Get("key0", &value));
+}
+
+// MatchService::Handle prefixes every cache key with the generation's load
+// sequence, so a snapshot swap invalidates older entries by making them
+// unaddressable (they age out of the LRU). This test drives that scheme
+// with writer threads racing a mid-flight generation bump against readers:
+// the invariant is that a hit for a key built as gen:payload always
+// returns the value stored for exactly that generation — never a stale
+// generation's value — and the counters still add up. Under the TSan
+// build (tools/check.sh) this doubles as a race check on the shard locks.
+TEST(ShardedLruCacheTest, GenerationKeyedInvalidationRacingInserts) {
+  ShardedLruCache cache(256, /*num_shards=*/8);
+  std::atomic<uint64_t> generation{1};
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kOpsPerThread = 2000;
+
+  auto key_for = [](uint64_t gen, int i) {
+    return std::to_string(gen) + '\x1f' + "req" + std::to_string(i % 97);
+  };
+  auto value_for = [](uint64_t gen, int i) {
+    return "gen" + std::to_string(gen) + ":resp" + std::to_string(i % 97);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = w; i < kOpsPerThread; ++i) {
+        uint64_t gen = generation.load(std::memory_order_relaxed);
+        cache.Put(key_for(gen, i), value_for(gen, i));
+      }
+    });
+  }
+  std::atomic<uint64_t> bad_hits{0};
+  std::atomic<uint64_t> reader_lookups{0};
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      std::string value;
+      for (int i = r; i < kOpsPerThread; ++i) {
+        uint64_t gen = generation.load(std::memory_order_relaxed);
+        reader_lookups.fetch_add(1, std::memory_order_relaxed);
+        if (cache.Get(key_for(gen, i), &value) &&
+            value != value_for(gen, i)) {
+          bad_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // The "reloader": bumps the generation mid-flight, twice.
+  threads.emplace_back([&] {
+    for (int bump = 0; bump < 2; ++bump) {
+      std::this_thread::yield();
+      generation.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(bad_hits.load(), 0u) << "a generation-keyed hit returned "
+                                    "another generation's value";
+  CacheStats stats = cache.Stats();
+  // Every reader lookup is exactly one hit or one miss; writers never read.
+  EXPECT_EQ(stats.hits + stats.misses, reader_lookups.load());
+  EXPECT_LE(stats.entries, stats.capacity);
+
+  // After the final swap, old-generation keys are unaddressable by
+  // construction; fill the cache with distinct current-generation entries
+  // (4x total capacity, so every shard cycles fully) and verify the stale
+  // ones age out entirely.
+  uint64_t final_gen = generation.load();
+  for (int i = 0; i < 1024; ++i) {
+    cache.Put(std::to_string(final_gen) + '\x1f' + "flush" +
+                  std::to_string(i),
+              "x");
+  }
+  std::string value;
+  for (int i = 0; i < 97; ++i) {
+    EXPECT_FALSE(cache.Get(key_for(1, i), &value))
+        << "stale generation-1 entry survived a full current-gen refill";
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace wikimatch

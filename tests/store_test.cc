@@ -359,6 +359,39 @@ TEST(StoreTest, MetaSectionRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(StoreTest, MetaOptionsFingerprintRoundTrip) {
+  Snapshot snapshot = MakeSnapshot();
+  match::PipelineOptions options;
+  options.matcher.t_sim = 0.42;
+  options.matcher.use_lsi = false;
+  options.schema.max_sample_infoboxes = 17;
+  snapshot.meta.options = OptionsFingerprint::From(options);
+  std::string path = TempPath("meta_options.snap");
+  ASSERT_TRUE(WriteSnapshotFile(snapshot, path).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->meta.options.has_value());
+  EXPECT_TRUE(*loaded->meta.options == OptionsFingerprint::From(options));
+  EXPECT_FALSE(*loaded->meta.options ==
+               OptionsFingerprint::From(match::PipelineOptions{}));
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, MetaWithoutFingerprintReadsBackAbsent) {
+  // Generation-only meta is exactly the pre-fingerprint payload shape; the
+  // reader must report options as absent, not error on the short payload.
+  Snapshot snapshot = MakeSnapshot();
+  snapshot.meta.generation = 2;
+  snapshot.meta.history.push_back({2, 1, 0, 0, 1, 1});
+  std::string path = TempPath("meta_legacy.snap");
+  ASSERT_TRUE(WriteSnapshotFile(snapshot, path).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->meta.generation, 2u);
+  EXPECT_FALSE(loaded->meta.options.has_value());
+  std::remove(path.c_str());
+}
+
 TEST(StoreTest, Generation0SnapshotOmitsMetaSection) {
   std::string path = TempPath("gen0.snap");
   ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Project lint gate (docs/ANALYSIS.md): mechanical source rules that the
+# compilers cannot enforce. Runs on every tools/check.sh invocation and
+# exits nonzero listing each violation as file:line: message.
+#
+# Rules:
+#   naked-new          `new` outside an immediately-wrapping smart pointer
+#                      (src/ only; tests use the leaky-fixture idiom).
+#   raw-mutex          std::mutex / std::lock_guard / std::unique_lock /
+#                      std::scoped_lock / std::condition_variable outside
+#                      src/util/ — everything else must use the annotated
+#                      util::Mutex so Clang thread-safety analysis sees it.
+#   assign-or-return   WIKIMATCH_ASSIGN_OR_RETURN as the unbraced body of
+#                      if/else/for/while (the macro expands to multiple
+#                      statements), or twice on one line (variable shadow).
+#   guarded-by         a file declaring a util::Mutex member must annotate
+#                      at least one field with WIKIMATCH_GUARDED_BY, and
+#                      mutex members must be named *mu* so the
+#                      `*_mu_`-adjacency convention stays greppable.
+#
+# Silence a deliberate exception with `// NOLINT(rule-name)` on the line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - "$@" <<'PYEOF'
+import re
+import sys
+from pathlib import Path
+
+violations = []
+
+
+def flag(path, lineno, rule, msg):
+    violations.append(f"{path}:{lineno}: [{rule}] {msg}")
+
+
+def strip_comment(line):
+    # Good enough for lint: drop // comments and string literals so words
+    # inside them don't trip the rules.
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//")[0]
+
+
+def source_files(roots, exts=(".h", ".cc")):
+    for root in roots:
+        for path in sorted(Path(root).rglob("*")):
+            if path.suffix in exts:
+                yield path
+
+
+SMART_WRAP = re.compile(r"unique_ptr<|shared_ptr<|make_unique|make_shared")
+NAKED_NEW = re.compile(r"\bnew\s+[A-Za-z_:]")
+RAW_SYNC = re.compile(
+    r"std::(mutex|recursive_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"condition_variable)\b")
+UNBRACED_HEAD = re.compile(r"^\s*(if|while|for)\s*\(.*\)\s*$|^\s*(else|do)\s*$")
+MUTEX_MEMBER = re.compile(r"^\s*(?:mutable\s+)?(?:util::)?Mutex\s+(\w+)\s*;")
+
+for path in source_files(["src"]):
+    lines = path.read_text().splitlines()
+    rel = str(path)
+    in_util = rel.startswith("src/util/")
+    mutex_members = []
+    has_guarded_by = False
+    for i, raw in enumerate(lines, 1):
+        code = strip_comment(raw)
+        nolint = "NOLINT" in raw
+
+        if "WIKIMATCH_GUARDED_BY(" in raw:
+            has_guarded_by = True
+
+        if NAKED_NEW.search(code) and not nolint:
+            prev = strip_comment(lines[i - 2]) if i >= 2 else ""
+            if not (SMART_WRAP.search(code) or SMART_WRAP.search(prev)):
+                flag(rel, i, "naked-new",
+                     "raw `new` — wrap in make_unique/make_shared or an "
+                     "owning smart pointer on the same or previous line")
+
+        if not in_util and RAW_SYNC.search(code) and not nolint:
+            flag(rel, i, "raw-mutex",
+                 "raw std synchronization primitive — use the annotated "
+                 "util::Mutex / util::MutexLock (src/util/mutex.h) so "
+                 "thread-safety analysis can see the lock")
+
+        if code.count("WIKIMATCH_ASSIGN_OR_RETURN") >= 2 and not nolint:
+            flag(rel, i, "assign-or-return",
+                 "two WIKIMATCH_ASSIGN_OR_RETURN on one line — the second "
+                 "shadows the first's status variable")
+        if "WIKIMATCH_ASSIGN_OR_RETURN" in code and not nolint:
+            prev = strip_comment(lines[i - 2]) if i >= 2 else ""
+            if UNBRACED_HEAD.match(prev):
+                flag(rel, i, "assign-or-return",
+                     "WIKIMATCH_ASSIGN_OR_RETURN as an unbraced "
+                     "if/else/for/while body — the macro expands to "
+                     "multiple statements; add braces")
+
+        m = MUTEX_MEMBER.match(code)
+        if m and path.suffix == ".h":
+            mutex_members.append((i, m.group(1), "NOLINT" in raw))
+
+    for lineno, name, nolint in mutex_members:
+        if nolint:
+            continue
+        if "mu" not in name:
+            flag(rel, lineno, "guarded-by",
+                 f"mutex member '{name}' not named *mu* — the naming "
+                 "convention keeps GUARDED_BY fields greppable")
+        if not has_guarded_by:
+            flag(rel, lineno, "guarded-by",
+                 f"file declares mutex member '{name}' but no field is "
+                 "annotated WIKIMATCH_GUARDED_BY — annotate what the "
+                 "mutex protects (util/thread_annotations.h)")
+
+if violations:
+    print(f"lint.sh: {len(violations)} violation(s):", file=sys.stderr)
+    for v in violations:
+        print("  " + v, file=sys.stderr)
+    sys.exit(1)
+print("lint.sh: clean")
+PYEOF
