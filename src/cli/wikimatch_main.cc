@@ -50,6 +50,8 @@
 #include "query/c_query.h"
 #include "query/evaluator.h"
 #include "query/translator.h"
+#include "net/server.h"
+#include "net/shutdown.h"
 #include "serve/match_service.h"
 #include "serve/protocol.h"
 #include "store/snapshot.h"
@@ -86,6 +88,9 @@ struct Args {
   size_t num_threads = 0;    // 0 = command-specific default
   size_t align_threads = 0;  // 0 = sequential intra-pair alignment
   size_t cache_capacity = 4096;
+  int listen_port = -1;       // serve: < 0 = stdin mode, else TCP port
+  size_t net_threads = 0;     // serve --listen: 0 = one per core
+  size_t max_conns = 1024;    // serve --listen: shed accepts past this
   bool translate = false;
   bool print_stats = false;
 };
@@ -117,7 +122,13 @@ void Usage() {
                "corpus instead of dumps\n"
                "  --snapshot <path>      snapshot to serve / apply a delta "
                "to\n"
-               "  --cache-capacity <n>   LRU result-cache entries (serve)\n");
+               "  --cache-capacity <n>   LRU result-cache entries (serve)\n"
+               "  --listen <port>        serve over TCP instead of stdin "
+               "(0 picks an ephemeral port)\n"
+               "  --net-threads <n>      event-loop threads for --listen "
+               "(default: one per core)\n"
+               "  --max-conns <n>        shed connections past this cap "
+               "(--listen, default 1024)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -192,6 +203,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->cache_capacity = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      long port = std::atol(v);
+      if (port < 0 || port > 65535) return false;
+      args->listen_port = static_cast<int>(port);
+    } else if (arg == "--net-threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->net_threads = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--max-conns") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->max_conns = static_cast<size_t>(std::atol(v));
     } else if (arg == "--tsim") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -594,7 +619,47 @@ int RunServe(const Args& args) {
                "hot-swap the snapshot, 'quit' or EOF to stop\n",
                args.snapshot_path.c_str(), (*service)->CorpusSize(),
                static_cast<unsigned long long>((*service)->Generation()));
-  size_t served = serve::ServeLoop(std::cin, std::cout, service->get());
+  // SIGINT/SIGTERM route through one flag for both transports: the TCP
+  // server drains on it, the stdin loop polls it (and, with SA_RESTART
+  // off, its blocking read returns early instead of eating the signal).
+  net::ShutdownFlag shutdown;
+  auto installed = net::InstallShutdownHandlers(&shutdown);
+  if (!installed.ok()) {
+    std::fprintf(stderr, "%s\n", installed.ToString().c_str());
+    return 1;
+  }
+  if (args.listen_port >= 0) {
+    net::ServerOptions options;
+    options.bind_address = "0.0.0.0";
+    options.port = static_cast<uint16_t>(args.listen_port);
+    options.num_threads = args.net_threads;
+    options.max_connections = args.max_conns;
+    auto server = net::Server::Create(service->get(), options, &shutdown);
+    if (!server.ok()) {
+      std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "listening on %s:%u (%zu event-loop threads, "
+                 "max %zu connections)\n", options.bind_address.c_str(),
+                 static_cast<unsigned>((*server)->port()),
+                 options.num_threads == 0 ? util::DefaultThreads()
+                                          : options.num_threads,
+                 options.max_connections);
+    auto run = (*server)->Run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.ToString().c_str());
+      return 1;
+    }
+    net::ServerStats stats = (*server)->Stats();
+    std::fprintf(stderr, "drained: served %llu requests over %llu "
+                 "connections (%llu shed)\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.accepted - stats.shed),
+                 static_cast<unsigned long long>(stats.shed));
+    return 0;
+  }
+  size_t served =
+      serve::ServeLoop(std::cin, std::cout, service->get(), shutdown.flag());
   std::fprintf(stderr, "served %zu requests\n", served);
   return 0;
 }

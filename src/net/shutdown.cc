@@ -1,0 +1,66 @@
+#include "net/shutdown.h"
+
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace wikimatch {
+namespace net {
+namespace {
+
+// The flag signal handlers deliver to. Written only by
+// InstallShutdownHandlers (before any signal can race it) and read from
+// handler context, so a lock-free atomic pointer suffices.
+std::atomic<ShutdownFlag*> g_signal_flag{nullptr};
+
+void OnShutdownSignal(int /*signo*/) {
+  ShutdownFlag* flag = g_signal_flag.load(std::memory_order_acquire);
+  if (flag != nullptr) flag->Request();
+}
+
+}  // namespace
+
+ShutdownFlag::ShutdownFlag()
+    : wake_fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {}
+
+ShutdownFlag::~ShutdownFlag() {
+  if (g_signal_flag.load(std::memory_order_acquire) == this) {
+    g_signal_flag.store(nullptr, std::memory_order_release);
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void ShutdownFlag::Request() {
+  requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    // Best effort: EAGAIN means the counter is already nonzero, which is
+    // exactly the state we want. write(2) is async-signal-safe.
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+util::Status InstallShutdownHandlers(ShutdownFlag* flag) {
+  if (flag == nullptr || flag->wake_fd() < 0) {
+    return util::Status::InvalidArgument(
+        "shutdown flag missing or its eventfd failed to open");
+  }
+  g_signal_flag.store(flag, std::memory_order_release);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking reads must see EINTR
+  if (::sigaction(SIGINT, &action, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &action, nullptr) != 0) {
+    return util::Status::IoError("sigaction(SIGINT/SIGTERM) failed");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace net
+}  // namespace wikimatch

@@ -1,0 +1,60 @@
+// Process-wide graceful-shutdown plumbing shared by every serving
+// transport. A ShutdownFlag is an atomic bool plus an eventfd: the bool is
+// what loops poll, the eventfd is what wakes an epoll_wait that would
+// otherwise sleep through the request. InstallShutdownHandlers() points
+// SIGINT/SIGTERM at one flag *without* SA_RESTART, so the stdin serve
+// loop's blocking read returns early and exits through the same flag the
+// TCP server drains on — one shutdown path for both transports.
+
+#ifndef WIKIMATCH_NET_SHUTDOWN_H_
+#define WIKIMATCH_NET_SHUTDOWN_H_
+
+#include <atomic>
+
+#include "util/status.h"
+
+namespace wikimatch {
+namespace net {
+
+/// \brief One shutdown request: an atomic flag plus an eventfd to wake
+/// sleeping epoll loops. Request() is async-signal-safe.
+class ShutdownFlag {
+ public:
+  ShutdownFlag();
+  ~ShutdownFlag();
+  ShutdownFlag(const ShutdownFlag&) = delete;
+  ShutdownFlag& operator=(const ShutdownFlag&) = delete;
+
+  /// \brief Requests shutdown: sets the flag and wakes every epoll loop
+  /// watching wake_fd(). Safe to call from a signal handler (an atomic
+  /// store and a write(2)) and idempotent.
+  void Request();
+
+  bool requested() const {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  /// \brief The flag itself, for code that only needs to poll it (the
+  /// stdin ServeLoop's `stop` parameter).
+  const std::atomic<bool>* flag() const { return &requested_; }
+
+  /// \brief Becomes readable once Request() has run; register it in an
+  /// epoll set (level-triggered, never drained) so every loop wakes.
+  int wake_fd() const { return wake_fd_; }
+
+ private:
+  std::atomic<bool> requested_{false};
+  int wake_fd_ = -1;
+};
+
+/// \brief Routes SIGINT and SIGTERM to `flag->Request()`. Handlers are
+/// installed without SA_RESTART so blocking reads (the stdin protocol
+/// loop) return with EINTR instead of resuming, letting the caller notice
+/// the flag. `flag` must outlive the handlers; installing again replaces
+/// the previous target.
+util::Status InstallShutdownHandlers(ShutdownFlag* flag);
+
+}  // namespace net
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_NET_SHUTDOWN_H_

@@ -3,6 +3,8 @@
 #include <ctime>
 #include <sstream>
 
+#include "serve/protocol.h"
+#include "store/snapshot.h"
 #include "text/normalize.h"
 
 namespace wikimatch {
@@ -86,6 +88,10 @@ const std::vector<std::string> kHelpLines = {
     "snapshot",
     "stats                                          service and cache "
     "counters",
+    "health                                         one-line liveness "
+    "probe (load balancers, drain checks)",
+    "version                                        server, protocol, and "
+    "snapshot-format versions",
     "generation                                     generation of the "
     "snapshot being served",
     "reload [<path>]                                hot-swap to the "
@@ -286,6 +292,22 @@ std::string MatchService::Dispatch(const GenerationState& gen,
   if (!NextToken(line, &pos, &command)) return RenderErr("empty request");
 
   if (command == "help") return RenderOk(kHelpLines);
+  if (command == "health") {
+    // Deliberately cheap (no cache probe, no pair lookup): load balancers
+    // poll this at high frequency, and the net server's drain logic uses
+    // it as the liveness signal that the process still answers.
+    std::ostringstream os;
+    os << "healthy generation=" << gen.snapshot.meta.generation
+       << " load_seq=" << gen.load_seq
+       << " uptime_s=" << SecondsSince(started_);
+    return RenderOk({os.str()});
+  }
+  if (command == "version") {
+    std::ostringstream os;
+    os << "wikimatch " << kServerVersion << " protocol=" << kProtocolVersion
+       << " snapshot_format=" << store::kSnapshotVersion;
+    return RenderOk({os.str()});
+  }
   if (command == "stats") {
     ServiceStats stats = Stats();
     std::ostringstream os;

@@ -1,23 +1,103 @@
-// Line-oriented request/response loop for MatchService: one request per
-// input line, one "ok <n>"/"err <msg>" response block per request. Runs on
-// any istream/ostream pair, so `wikimatch serve` is scriptable over
-// stdin/stdout and tests drive it with stringstreams — no sockets needed.
+// Line-oriented request/response framing for MatchService, shared by every
+// transport: one request per input line, one "ok <n>"/"err <msg>" response
+// block per request. `ServeLoop` runs the protocol on any istream/ostream
+// pair (so `wikimatch serve` is scriptable over stdin/stdout and tests
+// drive it with stringstreams); `net::Server` runs the same per-line
+// semantics over TCP sockets via `LineSplitter` + `HandleRequestLine`, so
+// the two paths cannot drift apart.
 
 #ifndef WIKIMATCH_SERVE_PROTOCOL_H_
 #define WIKIMATCH_SERVE_PROTOCOL_H_
 
+#include <atomic>
+#include <cstddef>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "serve/match_service.h"
 
 namespace wikimatch {
 namespace serve {
 
-/// \brief Reads request lines from `in` until EOF or a "quit"/"exit" line,
-/// writing each response to `out` (flushed per request). Blank lines are
-/// ignored. Returns the number of requests served.
-size_t ServeLoop(std::istream& in, std::ostream& out, MatchService* service);
+/// Version of the line protocol (reported by the `version` verb so load
+/// balancers and clients can gate on capabilities). 1 = the original verb
+/// set; 2 adds `health` and `version`.
+inline constexpr int kProtocolVersion = 2;
+
+/// Human-readable server release, also reported by `version`.
+inline constexpr char kServerVersion[] = "0.6.0";
+
+/// Hard cap on one request line, on every transport. Longer lines are
+/// answered with a protocol error and discarded — the TCP splitter never
+/// buffers more than this per line, so a hostile peer cannot balloon the
+/// server by withholding the newline.
+inline constexpr size_t kMaxRequestBytes = 64 * 1024;
+
+/// \brief Incremental splitter turning a raw byte stream into protocol
+/// lines: reassembles lines across arbitrary chunk boundaries, strips a
+/// trailing CR, bounds per-line memory at `max_line_bytes` (an oversized
+/// line is reported once, then skipped through its terminating newline so
+/// the stream resynchronizes), and surfaces an unterminated final line via
+/// Finish() when the peer half-closes.
+class LineSplitter {
+ public:
+  enum class Next {
+    kLine,       ///< `*line` holds the next complete request line
+    kOversized,  ///< a line exceeded max_line_bytes (reported once)
+    kNeedMore    ///< no complete line buffered; Append() more bytes
+  };
+
+  explicit LineSplitter(size_t max_line_bytes = kMaxRequestBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// \brief Feeds `size` raw bytes into the splitter.
+  void Append(const char* data, size_t size) { buffer_.append(data, size); }
+
+  /// \brief Pulls the next complete line (without its terminator).
+  Next Pop(std::string* line);
+
+  /// \brief Surrenders the unterminated tail as a final line at stream
+  /// end; false when there is no tail (or the tail belongs to a line
+  /// already reported oversized).
+  bool Finish(std::string* line);
+
+  /// \brief Bytes currently buffered (bounded by max_line_bytes + one
+  /// Append's worth).
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  size_t max_line_bytes_;
+  bool skipping_ = false;  // discarding an oversized line up to its \n
+  std::string buffer_;
+};
+
+/// \brief What one raw request line produced.
+struct LineOutcome {
+  std::string response;  ///< empty: nothing to send (blank line or quit)
+  bool quit = false;     ///< the client asked to end the session
+};
+
+/// \brief The per-line semantics shared by the stdin and TCP paths:
+/// strips a trailing CR, skips blank lines, recognizes "quit"/"exit",
+/// rejects oversized and NUL-bearing lines with a protocol error, and
+/// otherwise dispatches to the service. Anything else (malformed verbs,
+/// broken UTF-8 arguments) is the service's problem and comes back as its
+/// "err" response — the transport never crashes on request bytes.
+LineOutcome HandleRequestLine(MatchService* service, const std::string& line);
+
+/// \brief The protocol-error response for a line the splitter (or the
+/// stdin path's length check) flagged as oversized.
+std::string OversizedLineResponse(size_t max_line_bytes);
+
+/// \brief Reads request lines from `in` until EOF, a "quit"/"exit" line,
+/// or `stop` (the shared shutdown flag — see net::InstallShutdownHandlers;
+/// a SIGINT/SIGTERM interrupts the blocking read and the loop exits
+/// cleanly) becomes true, writing each response to `out` (flushed per
+/// request). Blank lines are ignored. Returns the number of requests
+/// served. An unterminated final line is served like any other.
+size_t ServeLoop(std::istream& in, std::ostream& out, MatchService* service,
+                 const std::atomic<bool>* stop = nullptr);
 
 }  // namespace serve
 }  // namespace wikimatch

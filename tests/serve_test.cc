@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <sstream>
 #include <thread>
@@ -40,7 +42,10 @@ const Fixture& GetFixture() {
     match::MatchPipeline pipeline(&f->gc.corpus);
     f->result = std::move(pipeline.Run("pt", "en")).ValueOrDie();
     f->dictionary = pipeline.dictionary();
-    f->snapshot_path = ::testing::TempDir() + "/serve_test.snap";
+    // ctest runs each TEST as its own process; a per-pid path keeps those
+    // processes from truncating each other's snapshot mid-load.
+    f->snapshot_path = ::testing::TempDir() + "/serve_test." +
+                       std::to_string(::getpid()) + ".snap";
     store::Snapshot snapshot;
     snapshot.corpus = f->gc.corpus;
     snapshot.dictionary = f->dictionary;
@@ -250,7 +255,8 @@ std::string WriteGenerationSnapshot(uint64_t gen, const std::string& name) {
   for (uint64_t g = 1; g <= gen; ++g) {
     snapshot.meta.history.push_back({g, 1, 0, 0, 1, 0});
   }
-  std::string path = ::testing::TempDir() + "/" + name;
+  std::string path =
+      ::testing::TempDir() + "/" + std::to_string(::getpid()) + "." + name;
   auto status = store::WriteSnapshotFile(snapshot, path);
   EXPECT_TRUE(status.ok()) << status.ToString();
   return path;
@@ -284,6 +290,35 @@ TEST(ServeTest, GenerationVerbDescribesTheServedSnapshot) {
   EXPECT_NE(response.find(" load_seq=1 "), std::string::npos) << response;
   EXPECT_NE(response.find(" deltas_applied=0"), std::string::npos)
       << response;
+}
+
+TEST(ServeTest, HealthVerbIsOneCheapLine) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  std::string response = (*service)->Handle("health");
+  ASSERT_EQ(response.compare(0, 5, "ok 1\n"), 0) << response;
+  EXPECT_NE(response.find("healthy generation=0 "), std::string::npos)
+      << response;
+  EXPECT_NE(response.find(" load_seq=1 "), std::string::npos) << response;
+  EXPECT_NE(response.find(" uptime_s="), std::string::npos) << response;
+  // A liveness probe must not pollute the result cache.
+  EXPECT_EQ((*service)->Stats().cache.entries, 0u);
+}
+
+TEST(ServeTest, VersionVerbReportsServerAndFormatVersions) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok());
+  std::string response = (*service)->Handle("version");
+  ASSERT_EQ(response.compare(0, 5, "ok 1\n"), 0) << response;
+  std::string expected = std::string("wikimatch ") + kServerVersion +
+                         " protocol=" + std::to_string(kProtocolVersion) +
+                         " snapshot_format=" +
+                         std::to_string(store::kSnapshotVersion);
+  EXPECT_NE(response.find(expected), std::string::npos) << response;
+  // Both verbs are documented in help.
+  std::string help = (*service)->Handle("help");
+  EXPECT_NE(help.find("health"), std::string::npos) << help;
+  EXPECT_NE(help.find("version"), std::string::npos) << help;
 }
 
 TEST(ServeTest, ReloadSwapsGenerationAndInvalidatesCache) {

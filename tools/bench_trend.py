@@ -9,9 +9,10 @@ compares the two and exits nonzero when a headline metric regressed by
 more than the threshold (default 15%), printing every delta either way.
 
 Headline metrics (direction = which way is better):
-    BENCH_align.json   indexed_ms down, speedup up
-    BENCH_serve.json   requests_per_sec up
-    BENCH_ingest.json  delta_apply_ms down, speedup up
+    BENCH_align.json      indexed_ms down, speedup up
+    BENCH_serve.json      requests_per_sec up
+    BENCH_ingest.json     delta_apply_ms down, speedup up
+    BENCH_serve_net.json  requests_per_sec up, p99_ms down
 
 Baseline resolution per file: `git show HEAD:<file>`; when the worktree
 copy is byte-identical to HEAD (artifact not regenerated this run), falls
@@ -33,6 +34,7 @@ HEADLINES = {
     "BENCH_align.json": {"indexed_ms": False, "speedup": True},
     "BENCH_serve.json": {"requests_per_sec": True},
     "BENCH_ingest.json": {"delta_apply_ms": False, "speedup": True},
+    "BENCH_serve_net.json": {"requests_per_sec": True, "p99_ms": False},
 }
 
 

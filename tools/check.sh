@@ -56,7 +56,8 @@ if [[ "${WIKIMATCH_SKIP_BENCH:-0}" != "1" ]]; then
   stage_bench_artifacts() {
     "$BUILD_DIR"/bench/bench_align > BENCH_align.json &&
     "$BUILD_DIR"/bench/bench_serve_throughput > BENCH_serve.json &&
-    "$BUILD_DIR"/bench/bench_ingest > BENCH_ingest.json
+    "$BUILD_DIR"/bench/bench_ingest > BENCH_ingest.json &&
+    "$BUILD_DIR"/bench/bench_serve_net > BENCH_serve_net.json
   }
   run_stage "bench artifacts" stage_bench_artifacts
   # Warning-only: benches on shared hardware are noisy; CI can run
@@ -208,14 +209,20 @@ if [[ "${WIKIMATCH_SKIP_TSAN:-0}" != "1" ]]; then
       cmake -B "$tsan_dir" -S . -DWIKIMATCH_SANITIZE=thread \
         -DWIKIMATCH_BUILD_BENCHMARKS=OFF -DWIKIMATCH_BUILD_EXAMPLES=OFF &&
       cmake --build "$tsan_dir" -j --target parallel_test align_join_test \
-        serve_test lru_cache_test &&
+        serve_test lru_cache_test net_server_test \
+        protocol_robustness_test &&
       "$tsan_dir"/tests/parallel_test &&
       "$tsan_dir"/tests/align_join_test &&
       # serve_test includes the concurrent-reload stress (queries racing a
       # generation swap); lru_cache_test races inserts against a
       # generation-key bump across cache shards.
       "$tsan_dir"/tests/serve_test &&
-      "$tsan_dir"/tests/lru_cache_test
+      "$tsan_dir"/tests/lru_cache_test &&
+      # net_server_test drives the epoll TCP server end to end, including
+      # the reload-under-live-traffic stress (the multi-threaded event
+      # loops racing a generation swap with zero dropped/mixed responses).
+      "$tsan_dir"/tests/net_server_test &&
+      "$tsan_dir"/tests/protocol_robustness_test
     }
     run_stage "TSan concurrency tests" stage_tsan
   else
