@@ -34,6 +34,7 @@
 //     without re-running the matcher (protocol: docs/SERVING.md). The
 //     `reload` verb hot-swaps to a rebuilt snapshot without a restart.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,7 +59,7 @@
 #include "synth/generator.h"
 #include "text/normalize.h"
 #include "util/logging.h"
-#include "util/parallel.h"
+#include "util/thread_pool.h"
 #include "wiki/corpus.h"
 #include "wiki/dump_reader.h"
 #include "wiki/wikitext_parser.h"
@@ -108,10 +109,12 @@ void Usage() {
                "  --lang <code>          query language\n"
                "  --translate            translate the query across --pair\n"
                "  --tsim / --tlsi <v>    WikiMatch thresholds\n"
-               "  --threads <n>          worker threads for per-type "
-               "alignment\n"
-               "  --align-threads <n>    worker threads inside one type "
-               "pair's similarity join\n"
+               "  --threads <n>          pool workers cooperating on "
+               "per-type alignment\n"
+               "  --align-threads <n>    pool workers cooperating inside "
+               "one type pair's similarity join (both knobs share one "
+               "pool sized to the larger of the two — nested loops "
+               "borrow workers, never spawn)\n"
                "  --stats                print pipeline phase timings and "
                "join counters to stderr\n"
                "  --tsv <path>           write matches as TSV\n"
@@ -704,6 +707,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   util::SetLogLevel(util::LogLevel::kWarning);
+  // The thread knobs name shares of ONE pool, not independent budgets:
+  // size the shared pool to the larger knob before any parallel work
+  // touches it. A run with --align-threads N therefore never has more
+  // than max(N, --threads) pool workers alive, no matter how many type
+  // pairs align concurrently. Unspecified knobs leave the lazy default
+  // (DefaultThreads(): WIKIMATCH_THREADS env, cgroup quota, core count).
+  if (size_t hint = std::max(args.num_threads, args.align_threads);
+      hint > 0) {
+    util::ThreadPool::SetDefaultPoolSize(hint);
+  }
   if (args.command == "match") return RunMatch(args, false);
   if (args.command == "types") return RunMatch(args, true);
   if (args.command == "query") return RunQuery(args);

@@ -4,15 +4,14 @@
 #include <chrono>
 #include <optional>
 #include <sstream>
-#include <thread>
 #include <tuple>
 
 #include "match/schema_builder.h"
 #include "match/type_matcher.h"
 #include "util/logging.h"
 #include "util/mutex.h"
-#include "util/parallel.h"
 #include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace wikimatch {
 namespace ingest {
@@ -60,7 +59,7 @@ std::string ApplyStats::ToString() const {
 
 struct IncrementalMatcher::ReclaimerSlot {
   util::Mutex mu;
-  std::thread thread WIKIMATCH_GUARDED_BY(mu);
+  util::TaskHandle handle WIKIMATCH_GUARDED_BY(mu);
 };
 
 IncrementalMatcher::IncrementalMatcher(
@@ -80,7 +79,11 @@ IncrementalMatcher::IncrementalMatcher(IncrementalMatcher&&) noexcept =
 IncrementalMatcher::~IncrementalMatcher() {
   if (reclaimer_ == nullptr) return;  // moved-from shell
   util::MutexLock lock(reclaimer_->mu);
-  if (reclaimer_->thread.joinable()) reclaimer_->thread.join();
+  // Blocks until the in-flight reclaim (if any) finished — and if it is
+  // still queued behind a saturated pool, steals and runs it right here
+  // (TaskHandle::Wait's contract), so destruction never deadlocks and
+  // never abandons retired state.
+  reclaimer_->handle.Wait();
 }
 
 struct IncrementalMatcher::RetiredState {
@@ -91,9 +94,17 @@ struct IncrementalMatcher::RetiredState {
 
 void IncrementalMatcher::ReclaimAsync(std::unique_ptr<RetiredState> retired) {
   util::MutexLock lock(reclaimer_->mu);
-  if (reclaimer_->thread.joinable()) reclaimer_->thread.join();
-  reclaimer_->thread =
-      std::thread([state = std::move(retired)]() mutable { state.reset(); });
+  // One reclaim in flight at a time (the historical join-then-launch
+  // behavior): waiting on the previous handle bounds retired-state memory
+  // to a single generation.
+  reclaimer_->handle.Wait();
+  // shared_ptr capture because std::function requires copyable callables;
+  // the pool releases the closure (and with it the state) as soon as the
+  // task ran, so the deallocation still happens off this thread.
+  reclaimer_->handle = util::thread_pool_async(
+      [state = std::shared_ptr<RetiredState>(std::move(retired))]() mutable {
+        state.reset();
+      });
 }
 
 util::Result<IncrementalMatcher> IncrementalMatcher::FromSnapshot(
@@ -386,7 +397,7 @@ util::Result<ApplyStats> IncrementalMatcher::Apply(const DeltaBatch& batch) {
     std::vector<std::optional<match::TypePairResult>> slots(
         out.type_matches.size());
     std::vector<util::Status> errors(out.type_matches.size());
-    util::ParallelFor(
+    util::thread_pool_for(
         out.type_matches.size(), options_.num_threads, [&](size_t i) {
           if (!dirty[i]) return;
           const match::TypeMatch& tm = out.type_matches[i];

@@ -102,9 +102,10 @@ class IncrementalMatcher {
       store::Snapshot snapshot, match::PipelineOptions options = {});
 
   /// Movable (FromSnapshot returns by value), not copyable or assignable:
-  /// the matcher owns a background reclaimer thread for retired
-  /// generation state, joined on destruction. Defined out of line where
-  /// ReclaimerSlot is complete.
+  /// the matcher owns the handle of a background reclaim task (shared
+  /// thread pool, util/thread_pool.h) for retired generation state,
+  /// waited on at destruction. Defined out of line where ReclaimerSlot is
+  /// complete.
   IncrementalMatcher(IncrementalMatcher&&) noexcept;
   IncrementalMatcher& operator=(IncrementalMatcher&&) = delete;
   ~IncrementalMatcher();
@@ -151,13 +152,16 @@ class IncrementalMatcher {
   void RebuildFootprints();
 
   /// The previous generation's containers, bundled so their destruction
-  /// (several ms of pure deallocation at corpus scale) can be handed to a
-  /// background thread instead of riding the Apply critical path.
+  /// (several ms of pure deallocation at corpus scale) can be handed to
+  /// the shared thread pool instead of riding the Apply critical path.
   struct RetiredState;
-  /// The reclaimer thread plus the mutex that guards its handle, bundled
-  /// behind a unique_ptr so the matcher stays movable (a util::Mutex
-  /// member is not) and the thread-safety analysis can prove every
-  /// join/launch of the handle happens under the lock.
+  /// The reclaim task's pool handle plus the mutex that guards it,
+  /// bundled behind a unique_ptr so the matcher stays movable (a
+  /// util::Mutex member is not) and the thread-safety analysis can prove
+  /// every wait/launch of the handle happens under the lock. Destruction
+  /// waits on the handle; a reclaim still queued at that point is stolen
+  /// and run by the destroying thread (tracked completion, never
+  /// fire-and-forget).
   struct ReclaimerSlot;
   void ReclaimAsync(std::unique_ptr<RetiredState> retired);
 

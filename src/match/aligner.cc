@@ -6,8 +6,8 @@
 #include <cmath>
 
 #include "match/similarity_join.h"
-#include "util/parallel.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace wikimatch {
 namespace match {
@@ -145,10 +145,16 @@ std::vector<CandidatePair> AttributeAligner::IndexedCandidates(
   const bool need_all = config_.keep_all_pairs;
   std::vector<std::vector<CandidatePair>> rows(n);
   std::atomic<size_t> postings_visited{0};
-  util::ParallelFor(n, config_.num_threads, [&](size_t i) {
-    // Per-OS-thread accumulators; each row runs entirely on one worker, so
-    // reuse across rows (and across Align calls) is safe and keeps the
-    // reset cost proportional to the row's nonzero count.
+  // Runs on the shared pool: when Align executes inside the pipeline's
+  // per-pair loop (itself a pool job), this inner loop is claimed by the
+  // calling worker plus whatever workers the outer level left idle —
+  // borrowed, not spawned, so pair-level × row-level parallelism cannot
+  // oversubscribe the box.
+  util::thread_pool_for(n, config_.num_threads, [&](size_t i) {
+    // Per-OS-thread accumulators; each row runs entirely on one thread
+    // (a pool worker or the caller), so reuse across rows — and across
+    // Align calls, since pool workers persist process-wide — is safe and
+    // keeps the reset cost proportional to the row's nonzero count.
     thread_local SimilarityJoinIndex::Scratch scratch;
     thread_local std::vector<SimilarityEntry> sparse_row;
     size_t visited_before = scratch.postings_visited();

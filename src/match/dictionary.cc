@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace wikimatch {
 namespace match {
@@ -35,7 +35,7 @@ void TranslationDictionary::Build(const wiki::Corpus& corpus,
   std::vector<std::map<std::tuple<std::string, std::string, std::string>,
                        std::string>>
       partial(chunks);
-  util::ParallelFor(chunks, num_threads, [&](size_t c) {
+  util::thread_pool_for(chunks, num_threads, [&](size_t c) {
     const size_t begin = c * step;
     const size_t end = std::min(n, begin + step);
     auto& out = partial[c];

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "util/logging.h"
-#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace wikimatch {
 namespace match {
@@ -67,11 +67,14 @@ util::Result<PipelineResult> MatchPipeline::Run(
   AttributeAligner aligner(options.matcher);
   // Type pairs are independent: build and align each into its own slot so
   // parallel execution keeps deterministic output order. Per-slot timings
-  // are summed after the join (workers never touch shared stats).
+  // are summed after the join (workers never touch shared stats). This
+  // loop runs on the shared pool, as do the aligner's loops inside it —
+  // the nested parallelism borrows from one worker budget instead of
+  // multiplying threads (util/thread_pool.h).
   std::vector<std::optional<TypePairResult>> slots(out.type_matches.size());
   std::vector<util::Status> errors(out.type_matches.size());
   std::vector<double> schema_ms(out.type_matches.size(), 0.0);
-  util::ParallelFor(
+  util::thread_pool_for(
       out.type_matches.size(), options.num_threads, [&](size_t i) {
         const TypeMatch& tm = out.type_matches[i];
         Clock::time_point build_start = Clock::now();

@@ -1,87 +1,41 @@
-// Minimal parallel-for over an index range: fixed worker threads pulling
-// indexes from an atomic counter. Used by the pipeline to align independent
-// type pairs concurrently and by the aligner's similarity join to shard one
-// type pair by group row; results are written to pre-sized slots so output
-// order stays deterministic regardless of scheduling.
+// util::ParallelFor — the project's classic parallel-loop entry point,
+// now a thin shim over the shared work-stealing pool (util/thread_pool.h)
+// instead of spawning fresh std::threads per call. The contract is
+// unchanged: fn(i) runs exactly once for every i in [0, n), results go to
+// pre-sized slots indexed by i so output order is deterministic at any
+// thread count, and the first exception (in completion order) is rethrown
+// on the calling thread after every participant drained.
 //
-// Exception safety: a throw from `fn` no longer reaches std::terminate via
-// the raw worker threads. The first exception (in completion order) is
-// captured, remaining workers stop handing out new indexes, every worker is
-// joined, and the exception is rethrown on the calling thread.
+// What changed underneath: `threads` no longer sets how many OS threads
+// get created — it caps how many pool workers may cooperate on this loop
+// (calling thread included). Nested ParallelFor calls therefore share one
+// core budget: the pipeline looping over type pairs while each pair's
+// aligner loops over group rows peaks at pool-size live workers, where
+// the spawn-per-call design peaked at the product of the two knobs.
 
 #ifndef WIKIMATCH_UTIL_PARALLEL_H_
 #define WIKIMATCH_UTIL_PARALLEL_H_
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <thread>
-#include <vector>
 
-#include "util/mutex.h"
+#include "util/thread_pool.h"
 
 namespace wikimatch {
 namespace util {
 
-/// \brief Invokes `fn(i)` for every i in [0, n), using up to `threads`
-/// worker threads (1 or 0 = run inline on the calling thread).
+/// \brief Invokes `fn(i)` for every i in [0, n), cooperating with up to
+/// `threads` workers of the shared pool (1 or 0 = run inline on the
+/// calling thread, with no pool traffic and no exception translation).
 ///
 /// `fn` must be safe to call concurrently for distinct indexes. Blocks
 /// until all invocations finish. If any invocation throws, the first
 /// captured exception is rethrown on the calling thread after all workers
-/// have joined; indexes not yet started when the exception is captured may
-/// never run.
+/// have drained; indexes not yet started when the exception was captured
+/// may never run.
 inline void ParallelFor(size_t n, size_t threads,
                         const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  if (threads <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  threads = std::min(threads, n);
-  // The error slot is shared worker state; it lives in an annotated bundle
-  // so the thread-safety analysis can prove every access is under its
-  // mutex (join() provides the final happens-before, but the locked read
-  // below keeps the proof local and costs nothing after the barrier).
-  struct ErrorSlot {
-    Mutex mu;
-    std::exception_ptr first WIKIMATCH_GUARDED_BY(mu);
-  } error;
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&]() {
-      while (!failed.load(std::memory_order_relaxed)) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
-        try {
-          fn(i);
-        } catch (...) {
-          MutexLock lock(error.mu);
-          if (error.first == nullptr) {
-            error.first = std::current_exception();
-          }
-          failed.store(true, std::memory_order_relaxed);
-        }
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  std::exception_ptr first_error;
-  {
-    MutexLock lock(error.mu);
-    first_error = error.first;
-  }
-  if (first_error != nullptr) std::rethrow_exception(first_error);
-}
-
-/// \brief A reasonable default worker count.
-inline size_t DefaultThreads() {
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 4 : hw;
+  thread_pool_for(n, threads, fn);
 }
 
 }  // namespace util

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
-#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace wikimatch {
 namespace wiki {
@@ -29,7 +29,7 @@ Corpus Corpus::ParallelCopy(const Corpus& base, size_t num_threads) {
   out.articles_.resize(n);
   const size_t chunks = num_threads <= 1 ? 1 : num_threads * 4;
   const size_t step = (n + chunks - 1) / chunks;
-  util::ParallelFor(chunks, num_threads, [&](size_t c) {
+  util::thread_pool_for(chunks, num_threads, [&](size_t c) {
     const size_t begin = c * step;
     const size_t end = std::min(n, begin + step);
     for (size_t i = begin; i < end; ++i) {

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "synth/delta.h"
 #include "synth/generator.h"
 #include "util/binary_io.h"
+#include "util/thread_pool.h"
 #include "wiki/serialize.h"
 #include "wiki/wikitext_parser.h"
 
@@ -434,6 +437,42 @@ TEST(IncrementalMatcherTest, FromSnapshotRejectsMismatchedOptions) {
   legacy.meta.options.reset();
   EXPECT_TRUE(IncrementalMatcher::FromSnapshot(std::move(legacy), different)
                   .ok());
+}
+
+TEST(IncrementalMatcherTest, DestroyWhileReclaimInFlight) {
+  // Apply() hands the previous generation's containers to the shared
+  // thread pool for off-critical-path destruction. Destroying the matcher
+  // while that reclaim is still *queued* (every worker pinned) must not
+  // deadlock or leak: the destructor's Wait steals the queued task and
+  // runs the reclaim on the destroying thread. Run under TSan by
+  // tools/check.sh.
+  SynthFixture f = MakeSynthFixture();
+  synth::DeltaSpec spec;
+  spec.lang_a = "pt";
+  spec.lang_b = "en";
+  spec.types_b = {"film"};
+  spec.value_edits = 2;
+  auto batch = synth::MakeDeltaBatch(f.corpus, spec);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  util::ThreadPool pool(1);
+  util::ScopedThreadPoolOverride override_pool(&pool);
+  std::atomic<bool> release{false};
+  // Pin the pool's only worker so the reclaim Apply() submits stays in
+  // the queue until the matcher is destroyed.
+  util::TaskHandle blocker = pool.Async([&]() {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  {
+    IncrementalMatcher matcher(f.corpus, f.results);
+    auto stats = matcher.Apply(*batch);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    // matcher goes out of scope here with the reclaim still queued.
+  }
+  release.store(true, std::memory_order_release);
+  blocker.Wait();
 }
 
 }  // namespace

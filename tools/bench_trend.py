@@ -9,9 +9,13 @@ compares the two and exits nonzero when a headline metric regressed by
 more than the threshold (default 15%), printing every delta either way.
 
 Headline metrics (direction = which way is better):
-    BENCH_align.json      indexed_ms down, speedup up
+    BENCH_align.json      indexed_ms down, speedup up, indexed_mt_ms down,
+                          mt_speedup up (the multi-threaded join runs on
+                          the shared thread pool — these two catch pool
+                          scheduling regressions)
     BENCH_serve.json      requests_per_sec up
-    BENCH_ingest.json     delta_apply_ms down, speedup up
+    BENCH_ingest.json     delta_apply_ms down, speedup up, apply_align_ms
+                          down (the dirty-unit realign rides the pool)
     BENCH_serve_net.json  requests_per_sec up, p99_ms down
 
 Baseline resolution per file: `git show HEAD:<file>`; when the worktree
@@ -31,9 +35,11 @@ from pathlib import Path
 
 # metric -> True when larger is better.
 HEADLINES = {
-    "BENCH_align.json": {"indexed_ms": False, "speedup": True},
+    "BENCH_align.json": {"indexed_ms": False, "speedup": True,
+                         "indexed_mt_ms": False, "mt_speedup": True},
     "BENCH_serve.json": {"requests_per_sec": True},
-    "BENCH_ingest.json": {"delta_apply_ms": False, "speedup": True},
+    "BENCH_ingest.json": {"delta_apply_ms": False, "speedup": True,
+                          "apply_align_ms": False},
     "BENCH_serve_net.json": {"requests_per_sec": True, "p99_ms": False},
 }
 

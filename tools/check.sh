@@ -208,9 +208,13 @@ if [[ "${WIKIMATCH_SKIP_TSAN:-0}" != "1" ]]; then
       local tsan_dir="${TSAN_DIR:-build-tsan}"
       cmake -B "$tsan_dir" -S . -DWIKIMATCH_SANITIZE=thread \
         -DWIKIMATCH_BUILD_BENCHMARKS=OFF -DWIKIMATCH_BUILD_EXAMPLES=OFF &&
-      cmake --build "$tsan_dir" -j --target parallel_test align_join_test \
-        serve_test lru_cache_test net_server_test \
-        protocol_robustness_test &&
+      cmake --build "$tsan_dir" -j --target thread_pool_test parallel_test \
+        align_join_test serve_test lru_cache_test net_server_test \
+        protocol_robustness_test ingest_test &&
+      # thread_pool_test stresses the shared work-stealing pool itself:
+      # nested For, async steal-on-wait, handle reuse after pool death,
+      # and the multi-level pipeline run on an injected pool.
+      "$tsan_dir"/tests/thread_pool_test &&
       "$tsan_dir"/tests/parallel_test &&
       "$tsan_dir"/tests/align_join_test &&
       # serve_test includes the concurrent-reload stress (queries racing a
@@ -222,7 +226,10 @@ if [[ "${WIKIMATCH_SKIP_TSAN:-0}" != "1" ]]; then
       # the reload-under-live-traffic stress (the multi-threaded event
       # loops racing a generation swap with zero dropped/mixed responses).
       "$tsan_dir"/tests/net_server_test &&
-      "$tsan_dir"/tests/protocol_robustness_test
+      "$tsan_dir"/tests/protocol_robustness_test &&
+      # ingest_test covers destroying a matcher while its pool-queued
+      # reclaim task is still in flight (destructor steal path).
+      "$tsan_dir"/tests/ingest_test
     }
     run_stage "TSan concurrency tests" stage_tsan
   else

@@ -10,6 +10,12 @@
 #                      std::scoped_lock / std::condition_variable outside
 #                      src/util/ — everything else must use the annotated
 #                      util::Mutex so Clang thread-safety analysis sees it.
+#   raw-thread         std::thread / std::jthread outside src/util/ and
+#                      src/net/ — the shared pool (util/thread_pool.h) is
+#                      the only sanctioned way to run parallel or
+#                      background work, so thread counts stay bounded by
+#                      the pool size (net/ owns its epoll event-loop
+#                      threads). std::this_thread is fine.
 #   assign-or-return   WIKIMATCH_ASSIGN_OR_RETURN as the unbraced body of
 #                      if/else/for/while (the macro expands to multiple
 #                      statements), or twice on one line (variable shadow).
@@ -53,6 +59,8 @@ NAKED_NEW = re.compile(r"\bnew\s+[A-Za-z_:]")
 RAW_SYNC = re.compile(
     r"std::(mutex|recursive_mutex|lock_guard|unique_lock|scoped_lock|"
     r"condition_variable)\b")
+# Matches the thread classes but not std::this_thread (different token).
+RAW_THREAD = re.compile(r"std::j?thread\b")
 UNBRACED_HEAD = re.compile(r"^\s*(if|while|for)\s*\(.*\)\s*$|^\s*(else|do)\s*$")
 MUTEX_MEMBER = re.compile(r"^\s*(?:mutable\s+)?(?:util::)?Mutex\s+(\w+)\s*;")
 
@@ -60,6 +68,7 @@ for path in source_files(["src"]):
     lines = path.read_text().splitlines()
     rel = str(path)
     in_util = rel.startswith("src/util/")
+    may_spawn = in_util or rel.startswith("src/net/")
     mutex_members = []
     has_guarded_by = False
     for i, raw in enumerate(lines, 1):
@@ -81,6 +90,13 @@ for path in source_files(["src"]):
                  "raw std synchronization primitive — use the annotated "
                  "util::Mutex / util::MutexLock (src/util/mutex.h) so "
                  "thread-safety analysis can see the lock")
+
+        if not may_spawn and RAW_THREAD.search(code) and not nolint:
+            flag(rel, i, "raw-thread",
+                 "raw std::thread — run the work on the shared pool "
+                 "(util/thread_pool.h: thread_pool_for / "
+                 "thread_pool_async) so the process thread count stays "
+                 "bounded by the pool size")
 
         if code.count("WIKIMATCH_ASSIGN_OR_RETURN") >= 2 and not nolint:
             flag(rel, i, "assign-or-return",
