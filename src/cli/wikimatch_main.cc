@@ -29,6 +29,15 @@
 //     re-aligned (docs/INGEST.md). The output snapshot carries a bumped
 //     generation number; a running `serve` picks it up via `reload`.
 //
+//   wikimatch sync --snapshot matches.snap [--out matches2.snap]
+//       [--threads n]
+//     Runs the cross-language value synchronization engine (docs/SYNC.md)
+//     over every aligned type in the snapshot and persists the resulting
+//     SyncReport into the snapshot (section kind 5), so `serve` answers
+//     `sync`/`sync-status` without recomputation. Without --out the
+//     snapshot is rewritten in place. apply-delta keeps an existing report
+//     current incrementally (SyncEngine::Resync over the dirty articles).
+//
 //   wikimatch serve --snapshot matches.snap [--cache-capacity n]
 //     Answers lookup/query requests over stdin/stdout from a snapshot,
 //     without re-running the matcher (protocol: docs/SERVING.md). The
@@ -40,7 +49,9 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ingest/delta.h"
@@ -56,6 +67,7 @@
 #include "serve/match_service.h"
 #include "serve/protocol.h"
 #include "store/snapshot.h"
+#include "sync/sync_engine.h"
 #include "synth/generator.h"
 #include "text/normalize.h"
 #include "util/logging.h"
@@ -99,7 +111,7 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: wikimatch <match|types|query|demo|build-snapshot|"
-               "apply-delta|serve> [options]\n"
+               "apply-delta|sync|serve> [options]\n"
                "  --dump <lang>=<path>   add a MediaWiki XML dump (repeat; "
                "for apply-delta, an edit batch to upsert)\n"
                "  --remove <lang>:<title> delete an article "
@@ -554,6 +566,71 @@ util::Result<ingest::DeltaBatch> BuildDeltaBatch(const Args& args,
   return batch;
 }
 
+// The hub language shared by every pipeline pair (the <tgt> of --pair);
+// empty when the snapshot's pairs disagree, which sync cannot serve.
+std::string HubLanguage(
+    const std::map<store::LanguagePair, match::PipelineResult>& pipelines) {
+  std::string hub;
+  for (const auto& [pair, result] : pipelines) {
+    if (hub.empty()) {
+      hub = pair.second;
+    } else if (hub != pair.second) {
+      return "";
+    }
+  }
+  return hub;
+}
+
+int RunSync(const Args& args) {
+  if (args.snapshot_path.empty()) {
+    Usage();
+    return 2;
+  }
+  auto snapshot = store::ReadSnapshotFile(args.snapshot_path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::string hub = HubLanguage(snapshot->pipelines);
+  if (hub.empty()) {
+    std::fprintf(stderr, "sync needs at least one pipeline pair and a "
+                 "single shared hub language\n");
+    return 1;
+  }
+  sync::SyncEngine engine(&snapshot->corpus, &snapshot->dictionary, hub);
+  auto scopes = sync::SyncEngine::ScopesFromPipelines(snapshot->pipelines);
+  size_t threads =
+      args.num_threads > 0 ? args.num_threads : util::DefaultThreads();
+  sync::SyncReport report = engine.Run(scopes, threads);
+  report.generation = snapshot->meta.generation;
+  snapshot->sync_report = std::move(report);
+  const std::string& out =
+      args.out_path.empty() ? args.snapshot_path : args.out_path;
+  auto status = store::WriteSnapshotFile(*snapshot, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const sync::SyncReport& written = snapshot->sync_report;
+  std::fprintf(stderr, "wrote snapshot %s (generation %llu, %zu cells, "
+               "%zu updates)\n",
+               out.c_str(),
+               static_cast<unsigned long long>(written.generation),
+               written.cells.size(), written.updates.size());
+  for (const auto& [key, counts] : written.Summaries()) {
+    std::fprintf(stderr,
+                 "  %s %s: in_sync=%llu stale=%llu missing=%llu "
+                 "conflict=%llu unverifiable=%llu\n",
+                 key.first.c_str(), key.second.c_str(),
+                 static_cast<unsigned long long>(counts.in_sync),
+                 static_cast<unsigned long long>(counts.stale),
+                 static_cast<unsigned long long>(counts.missing),
+                 static_cast<unsigned long long>(counts.conflict),
+                 static_cast<unsigned long long>(counts.unverifiable));
+  }
+  return 0;
+}
+
 int RunApplyDelta(const Args& args) {
   if (args.snapshot_path.empty() || args.out_path.empty() ||
       (args.dumps.empty() && args.removes.empty())) {
@@ -575,6 +652,9 @@ int RunApplyDelta(const Args& args) {
   if (args.align_threads > 0) {
     options.matcher.num_threads = args.align_threads;
   }
+  // The matcher does not carry the sync report through ToSnapshot(); keep
+  // the previous report so it can be refreshed incrementally below.
+  sync::SyncReport previous_sync = std::move(snapshot->sync_report);
   auto matcher_or = ingest::IncrementalMatcher::FromSnapshot(
       std::move(snapshot).ValueOrDie(), options);
   if (!matcher_or.ok()) {
@@ -593,8 +673,36 @@ int RunApplyDelta(const Args& args) {
     return 1;
   }
   std::fprintf(stderr, "%s\n", stats->ToString().c_str());
-  auto status = store::WriteSnapshotFile(matcher.ToSnapshot(),
-                                         args.out_path);
+  store::Snapshot out = matcher.ToSnapshot();
+  if (!previous_sync.empty()) {
+    // Refresh the persisted sync report over just the touched articles, so
+    // a snapshot that ran `wikimatch sync` stays current through deltas.
+    std::set<std::pair<std::string, std::string>> dirty;
+    for (const auto& article : batch->added) {
+      dirty.emplace(article.language, article.title);
+    }
+    for (const auto& article : batch->updated) {
+      dirty.emplace(article.language, article.title);
+    }
+    for (const auto& key : batch->removed) dirty.insert(key);
+    std::string hub = HubLanguage(out.pipelines);
+    if (hub.empty()) {
+      std::fprintf(stderr, "cannot refresh sync report: no shared hub "
+                   "language\n");
+      return 1;
+    }
+    sync::SyncEngine engine(&out.corpus, &out.dictionary, hub);
+    auto scopes = sync::SyncEngine::ScopesFromPipelines(out.pipelines);
+    sync::SyncReport report = engine.Resync(scopes, previous_sync, dirty,
+                                            options.num_threads);
+    report.generation = out.meta.generation;
+    out.sync_report = std::move(report);
+    std::fprintf(stderr, "refreshed sync report: %zu cells, %zu updates, "
+                 "%zu dirty articles\n",
+                 out.sync_report.cells.size(), out.sync_report.updates.size(),
+                 dirty.size());
+  }
+  auto status = store::WriteSnapshotFile(out, args.out_path);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
@@ -723,6 +831,7 @@ int main(int argc, char** argv) {
   if (args.command == "demo") return RunDemo(args);
   if (args.command == "build-snapshot") return RunBuildSnapshot(args);
   if (args.command == "apply-delta") return RunApplyDelta(args);
+  if (args.command == "sync") return RunSync(args);
   if (args.command == "serve") return RunServe(args);
   Usage();
   return 2;

@@ -75,31 +75,6 @@ std::string ClusterLine(const std::set<eval::AttrKey>& cluster) {
   return line;
 }
 
-const std::vector<std::string> kHelpLines = {
-    "attr <src>:<tgt> <type_b> <lang> <attribute>   correspondents of the "
-    "attribute in the pair's other language",
-    "alignments <src>:<tgt> <type_b>                all alignment clusters "
-    "of the type",
-    "query <src>:<tgt> <c-query>                    translate the c-query "
-    "from <src> and evaluate it in <tgt>",
-    "types <src>:<tgt>                              entity-type mapping of "
-    "the pair",
-    "pairs                                          language pairs in the "
-    "snapshot",
-    "stats                                          service and cache "
-    "counters",
-    "health                                         one-line liveness "
-    "probe (load balancers, drain checks)",
-    "version                                        server, protocol, and "
-    "snapshot-format versions",
-    "generation                                     generation of the "
-    "snapshot being served",
-    "reload [<path>]                                hot-swap to the "
-    "snapshot at <path> (default: the loaded one)",
-    "quit                                           end the session",
-    "(quote multi-word type names: alignments pt:en \"artista musical\")",
-};
-
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -157,6 +132,31 @@ MatchService::BuildGeneration(store::Snapshot snapshot, uint64_t load_seq) {
         pair.first, pair.second, result.type_matches, serving.per_type,
         &gen->snapshot.dictionary);
     gen->pairs.emplace(pair, std::move(serving));
+  }
+  {
+    // Index the persisted sync report by (pair_lang, type_b). Updates do
+    // not carry the type, so the cells' (lang, title) -> key map assigns
+    // each update through whichever side names the pair-language article.
+    const sync::SyncReport& report = gen->snapshot.sync_report;
+    std::map<std::pair<std::string, std::string>,
+             std::pair<std::string, std::string>>
+        key_of_title;
+    for (size_t i = 0; i < report.cells.size(); ++i) {
+      const sync::CellVerdict& v = report.cells[i];
+      std::pair<std::string, std::string> key{v.pair_lang, v.type_b};
+      gen->sync_cells[key].push_back(i);
+      key_of_title.emplace(std::make_pair(v.pair_lang, v.pair_title), key);
+    }
+    for (size_t i = 0; i < report.updates.size(); ++i) {
+      const sync::PropagationUpdate& u = report.updates[i];
+      auto it = key_of_title.find({u.source_lang, u.source_title});
+      if (it == key_of_title.end()) {
+        it = key_of_title.find({u.target_lang, u.target_title});
+      }
+      if (it != key_of_title.end()) {
+        gen->sync_updates[it->second].push_back(i);
+      }
+    }
   }
   return gen;
 }
@@ -291,7 +291,20 @@ std::string MatchService::Dispatch(const GenerationState& gen,
   std::string command;
   if (!NextToken(line, &pos, &command)) return RenderErr("empty request");
 
-  if (command == "help") return RenderOk(kHelpLines);
+  // One gate for the whole verb set: anything outside the ProtocolVerbs()
+  // table is rejected here, so the table, `help`, and the dispatch chain
+  // below cannot disagree about what the protocol accepts.
+  if (!IsProtocolVerb(command)) {
+    return RenderErr("unknown request '" + command +
+                     "' (try 'help' for the protocol)");
+  }
+
+  if (command == "help") return RenderOk(HelpLines());
+  if (command == "quit" || command == "exit") {
+    // Transports intercept quit before Dispatch (protocol.cc); answering
+    // here keeps direct Handle() callers (tests, embedders) working.
+    return RenderOk({"bye"});
+  }
   if (command == "health") {
     // Deliberately cheap (no cache probe, no pair lookup): load balancers
     // poll this at high frequency, and the net server's drain logic uses
@@ -354,6 +367,24 @@ std::string MatchService::Dispatch(const GenerationState& gen,
     for (const auto& [pair, serving] : gen.pairs) {
       lines.push_back(pair.first + ":" + pair.second);
     }
+    return RenderOk(lines);
+  }
+  if (command == "sync-status") {
+    const sync::SyncReport& report = gen.snapshot.sync_report;
+    std::ostringstream os;
+    os << "sync_generation=" << report.generation
+       << " cells=" << report.cells.size()
+       << " updates=" << report.updates.size();
+    std::vector<std::string> lines = {os.str()};
+    for (const auto& [key, counts] : report.Summaries()) {
+      std::ostringstream row;
+      row << key.first << "\t" << key.second << "\tin_sync=" << counts.in_sync
+          << " stale=" << counts.stale << " missing=" << counts.missing
+          << " conflict=" << counts.conflict
+          << " unverifiable=" << counts.unverifiable;
+      lines.push_back(row.str());
+    }
+    *cacheable = true;
     return RenderOk(lines);
   }
 
@@ -432,8 +463,60 @@ std::string MatchService::Dispatch(const GenerationState& gen,
     return RenderOk(lines);
   }
 
-  return RenderErr("unknown request '" + command +
-                   "' (try 'help' for the protocol)");
+  if (command == "sync") {
+    std::string type_b;
+    if (!NextToken(line, &pos, &type_b) || type_b.empty()) {
+      return RenderErr("usage: sync <src>:<tgt> <type_b>");
+    }
+    if (gen.FindPair(lang_a, lang_b) == nullptr) {
+      return RenderErr("no pipeline for pair " + lang_a + ":" + lang_b +
+                       " in snapshot");
+    }
+    const sync::SyncReport& report = gen.snapshot.sync_report;
+    if (report.empty()) {
+      return RenderErr(
+          "no sync report in snapshot (run `wikimatch sync` and reload)");
+    }
+    // The non-hub edition is the pair language of the report's rows; the
+    // index was built per (pair_lang, type_b) so both orderings of the
+    // pair token find the same rows.
+    std::vector<std::string> lines;
+    lines.push_back("sync_generation=" + std::to_string(report.generation));
+    auto emit = [&](const std::string& pair_lang) {
+      auto cit = gen.sync_cells.find({pair_lang, type_b});
+      if (cit != gen.sync_cells.end()) {
+        for (size_t idx : cit->second) {
+          const sync::CellVerdict& v = report.cells[idx];
+          std::ostringstream os;
+          os << "cell\t" << v.pair_title << "\t" << v.hub_title << "\t"
+             << v.pair_attr << "\t" << v.hub_attr << "\t"
+             << sync::CellClassName(v.cls) << "\t" << v.score;
+          lines.push_back(os.str());
+        }
+      }
+      auto uit = gen.sync_updates.find({pair_lang, type_b});
+      if (uit != gen.sync_updates.end()) {
+        for (size_t idx : uit->second) {
+          const sync::PropagationUpdate& u = report.updates[idx];
+          std::ostringstream os;
+          os << "update\t" << u.source_lang << "\t" << u.source_title << "\t"
+             << u.source_attr << "\t" << u.target_lang << "\t"
+             << u.target_title << "\t" << u.target_attr << "\t"
+             << u.evidence_score << "\t" << u.proposed_value;
+          lines.push_back(os.str());
+        }
+      }
+    };
+    // One of the two languages is the hub; the other keys the report.
+    emit(lang_a);
+    if (lang_b != lang_a) emit(lang_b);
+    *cacheable = true;
+    return RenderOk(lines);
+  }
+
+  // Every table verb is handled above; reaching here means the table and
+  // the dispatch chain drifted apart (a bug the help-coverage test catches).
+  return RenderErr("verb '" + command + "' is not implemented");
 }
 
 std::string MatchService::Handle(const std::string& line) {

@@ -156,6 +156,12 @@ class MatchService {
     uint64_t load_seq = 0;    ///< 1 for the initial load, +1 per reload
     int64_t loaded_unix = 0;  ///< wall clock at install
     Clock::time_point loaded_at;
+    /// (pair_lang, type_b) -> row indices into snapshot.sync_report, built
+    /// once per load so `sync` answers without scanning the report.
+    std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+        sync_cells;
+    std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+        sync_updates;
 
     const PairServing* FindPair(const std::string& lang_a,
                                 const std::string& lang_b) const;

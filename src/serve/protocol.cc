@@ -1,9 +1,71 @@
 #include "serve/protocol.h"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 namespace wikimatch {
 namespace serve {
+
+const std::vector<VerbSpec>& ProtocolVerbs() {
+  static const std::vector<VerbSpec> kVerbs = {
+      {"attr", "<src>:<tgt> <type_b> <lang> <attribute>",
+       "correspondents of the attribute in the pair's other language"},
+      {"alignments", "<src>:<tgt> <type_b>",
+       "all alignment clusters of the type"},
+      {"query", "<src>:<tgt> <c-query>",
+       "translate the c-query from <src> and evaluate it in <tgt>"},
+      {"sync", "<src>:<tgt> <type_b>",
+       "cell verdicts and propagation updates of the type (docs/SYNC.md)"},
+      {"sync-status", "",
+       "sync-report generation and per-language verdict counts"},
+      {"types", "<src>:<tgt>", "entity-type mapping of the pair"},
+      {"pairs", "", "language pairs in the snapshot"},
+      {"stats", "", "service and cache counters"},
+      {"health", "", "one-line liveness probe (load balancers, drain checks)"},
+      {"version", "", "server, protocol, and snapshot-format versions"},
+      {"generation", "", "generation of the snapshot being served"},
+      {"reload", "[<path>]",
+       "hot-swap to the snapshot at <path> (default: the loaded one)"},
+      {"help", "", "this verb table"},
+      {"quit", "", "end the session"},
+  };
+  return kVerbs;
+}
+
+bool IsProtocolVerb(const std::string& command) {
+  if (command == "exit") return true;  // undocumented alias for quit
+  for (const VerbSpec& spec : ProtocolVerbs()) {
+    if (command == spec.verb) return true;
+  }
+  return false;
+}
+
+const std::vector<std::string>& HelpLines() {
+  static const std::vector<std::string> kLines = [] {
+    size_t width = 0;
+    auto usage = [](const VerbSpec& spec) {
+      std::string u = spec.verb;
+      if (spec.args[0] != '\0') u += std::string(" ") + spec.args;
+      return u;
+    };
+    for (const VerbSpec& spec : ProtocolVerbs()) {
+      width = std::max(width, usage(spec).size());
+    }
+    std::vector<std::string> lines;
+    for (const VerbSpec& spec : ProtocolVerbs()) {
+      std::string line = usage(spec);
+      line.append(width + 3 - line.size(), ' ');
+      line += spec.description;
+      lines.push_back(std::move(line));
+    }
+    lines.push_back(
+        "(quote multi-word type names: alignments pt:en \"artista "
+        "musical\")");
+    return lines;
+  }();
+  return kLines;
+}
 
 LineSplitter::Next LineSplitter::Pop(std::string* line) {
   for (;;) {

@@ -14,6 +14,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "serve/match_service.h"
 
@@ -22,11 +23,30 @@ namespace serve {
 
 /// Version of the line protocol (reported by the `version` verb so load
 /// balancers and clients can gate on capabilities). 1 = the original verb
-/// set; 2 adds `health` and `version`.
-inline constexpr int kProtocolVersion = 2;
+/// set; 2 adds `health` and `version`; 3 adds `sync` and `sync-status`.
+inline constexpr int kProtocolVersion = 3;
 
 /// Human-readable server release, also reported by `version`.
-inline constexpr char kServerVersion[] = "0.6.0";
+inline constexpr char kServerVersion[] = "0.7.0";
+
+/// \brief One protocol verb, as documented by `help`. This table is the
+/// single source of truth for the verb set: `help` renders it, Dispatch
+/// rejects commands absent from it, and the docs/SERVING.md verb table is
+/// asserted against it by serve_test — the three cannot drift apart.
+struct VerbSpec {
+  const char* verb;
+  const char* args;         ///< usage suffix, "" for argument-less verbs
+  const char* description;  ///< one-line summary shown by `help`
+};
+
+/// \brief Every verb of protocol version kProtocolVersion.
+const std::vector<VerbSpec>& ProtocolVerbs();
+
+/// \brief True iff `command` is a verb in ProtocolVerbs().
+bool IsProtocolVerb(const std::string& command);
+
+/// \brief The `help` response body, rendered from ProtocolVerbs().
+const std::vector<std::string>& HelpLines();
 
 /// Hard cap on one request line, on every transport. Longer lines are
 /// answered with a protocol error and discarded — the TCP splitter never

@@ -201,6 +201,11 @@ util::Status SnapshotWriter::WriteMeta(const SnapshotMeta& meta) {
   return WriteSection(SectionKind::kMeta, w.buffer());
 }
 
+util::Status SnapshotWriter::WriteSyncReport(const sync::SyncReport& report) {
+  return WriteSection(SectionKind::kSyncReport,
+                      sync::EncodeSyncReport(report));
+}
+
 util::Status SnapshotWriter::Finish() {
   if (file_ == nullptr) {
     return util::Status::Internal("snapshot writer already finished");
@@ -233,6 +238,11 @@ util::Status WriteSnapshotFile(const Snapshot& snapshot,
   // unless a delta was actually applied).
   if (!snapshot.meta.IsDefault()) {
     WIKIMATCH_RETURN_NOT_OK(writer->WriteMeta(snapshot.meta));
+  }
+  // Same additive pattern for the sync report (kind 5): omitted when no
+  // sync has run, so such snapshots keep their pre-sync bytes.
+  if (!snapshot.sync_report.empty()) {
+    WIKIMATCH_RETURN_NOT_OK(writer->WriteSyncReport(snapshot.sync_report));
   }
   return writer->Finish();
 }
@@ -436,6 +446,14 @@ util::Result<Snapshot> ReadSnapshotFile(const std::string& path) {
         // Any further trailing bytes (fields appended by a newer writer)
         // are ignored.
         snapshot.meta = std::move(meta);
+        break;
+      }
+      case SectionKind::kSyncReport: {
+        auto report = sync::DecodeSyncReport(payload);
+        if (!report.ok()) {
+          return report.status().WithContext("snapshot sync report section");
+        }
+        snapshot.sync_report = std::move(report).ValueOrDie();
         break;
       }
       default:

@@ -13,9 +13,11 @@
 // Section kinds: 1 = corpus, 2 = dictionary, 3 = pipeline result (payload
 // begins with lang_a, lang_b; repeats once per pair), 4 = meta (snapshot
 // generation number plus the delta-manifest history appended by
-// `wikimatch apply-delta`). Unknown kinds within a supported version are
-// skipped, so sections can be added without a version bump — kind 4 was
-// added that way and old readers ignore it. Readers verify the magic, the
+// `wikimatch apply-delta`), 5 = sync report (the last `wikimatch sync`
+// result, docs/SYNC.md). Unknown kinds within a supported version are
+// skipped, so sections can be added without a version bump — kinds 4 and 5
+// were added that way and old readers ignore them. Readers verify the magic,
+// the
 // version, the section count, and every section's CRC-32, and fail with a
 // descriptive util::Status on truncated, corrupt, or version-mismatched
 // input — never undefined behavior.
@@ -33,6 +35,7 @@
 
 #include "match/dictionary.h"
 #include "match/pipeline.h"
+#include "sync/sync_engine.h"
 #include "util/result.h"
 #include "wiki/corpus.h"
 
@@ -48,6 +51,7 @@ enum class SectionKind : uint32_t {
   kDictionary = 2,
   kPipeline = 3,
   kMeta = 4,
+  kSyncReport = 5,
 };
 
 /// \brief A language pair, source first ("pt", "en").
@@ -138,6 +142,11 @@ struct Snapshot {
   match::TranslationDictionary dictionary;
   std::map<LanguagePair, match::PipelineResult> pipelines;
   SnapshotMeta meta;
+  /// Last `wikimatch sync` result (section kind 5). Written only when
+  /// non-empty, like the meta section, so snapshots that never ran sync
+  /// keep their pre-sync bytes; `serve` answers sync verbs from this
+  /// without recomputation.
+  sync::SyncReport sync_report;
 };
 
 /// \brief Streaming writer: one Write* call per section, then Finish().
@@ -162,6 +171,7 @@ class SnapshotWriter {
                              const std::string& lang_b,
                              const match::PipelineResult& result);
   util::Status WriteMeta(const SnapshotMeta& meta);
+  util::Status WriteSyncReport(const sync::SyncReport& report);
 
   /// \brief Patches the section count into the header and closes the file.
   util::Status Finish();

@@ -1,0 +1,114 @@
+// Evidence extraction and cell-pair classification for cross-language
+// value synchronization (docs/SYNC.md).
+//
+// A cell's *evidence signature* is the language-independent content its
+// rendered value claims: canonical (hub-language) titles of the entities it
+// links to or names, and the numbers it shows. Two aligned cells are
+// classified by comparing signatures — equal evidence is in-sync, strict
+// containment is staleness (the subset side lacks information the other
+// has), symmetric difference is a conflict, and cells with no comparable
+// evidence on either side fall back to normalized string equality or are
+// declared unverifiable (free text is language-specific by nature; unequal
+// strings are not evidence of staleness).
+//
+// The same Classify() runs over engine-extracted signatures (from parsed
+// wikitext) and oracle-recorded ones (from the generator's RenderTrace), so
+// precision/recall against the oracle measures exactly one thing:
+// extraction fidelity.
+
+#ifndef WIKIMATCH_SYNC_EVIDENCE_H_
+#define WIKIMATCH_SYNC_EVIDENCE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "match/dictionary.h"
+#include "wiki/article.h"
+#include "wiki/corpus.h"
+
+namespace wikimatch {
+namespace sync {
+
+/// \brief Classification of one aligned cross-edition cell pair.
+enum class CellClass : uint8_t {
+  kInSync = 0,        ///< both editions claim the same content
+  kStale = 1,         ///< one edition lacks part of the other's content
+  kMissing = 2,       ///< one edition lacks the attribute entirely
+  kConflict = 3,      ///< the editions claim contradictory content
+  kUnverifiable = 4,  ///< no comparable evidence on either side
+};
+
+/// \brief Stable lowercase name ("in_sync", "stale", ...).
+const char* CellClassName(CellClass c);
+
+/// \brief Evidence signature of one rendered infobox cell.
+struct Evidence {
+  /// Canonical hub-language titles of referenced entities. Unresolvable
+  /// link targets keep a "lang:title" form so two editions sharing the
+  /// same red link still compare equal.
+  std::set<std::string> refs;
+  /// Numeric content: dates contribute {day, month, year} (month words
+  /// recognized per language), money the magnitude ("44 milhões" ->
+  /// 44000000), durations and counts the shown figure.
+  std::set<int64_t> numbers;
+  /// NormalizeValue form of the rendered text — the fallback comparator
+  /// when neither side has refs or numbers.
+  std::string normalized;
+
+  bool comparable() const { return !refs.empty() || !numbers.empty(); }
+};
+
+/// \brief Classifies a cell pair from its evidence signatures. Returns
+/// kInSync, kStale, kConflict, or kUnverifiable — never kMissing, which is
+/// a property of the walk (one side lacks the cell), not of two signatures.
+CellClass Classify(const Evidence& a, const Evidence& b);
+
+/// \brief For a kStale pair: true iff `a` is the stale side (a's evidence
+/// is a strict subset of b's). Precondition: Classify(a, b) == kStale.
+bool AIsStale(const Evidence& a, const Evidence& b);
+
+/// \brief Agreement in [0, 1]: Jaccard similarity over the union of ref and
+/// number tokens; string equality when neither side is comparable.
+double AgreementScore(const Evidence& a, const Evidence& b);
+
+/// \brief Extracts evidence signatures from parsed infobox values.
+///
+/// Canonicalization maps every referenced title toward the hub language:
+/// resolvable titles follow redirects and cross-language links; red links
+/// fall back to the translation dictionary (built bidirectionally, so a
+/// title can translate even when its own edition lacks the page). Day-page
+/// and year-page links ("18 de junho", "1950") are date *representation* —
+/// they contribute numbers, never refs, because linking them is an
+/// edition-local style choice.
+class EvidenceExtractor {
+ public:
+  /// Pointers are borrowed; both must outlive the extractor.
+  EvidenceExtractor(const wiki::Corpus* corpus,
+                    const match::TranslationDictionary* dictionary,
+                    std::string hub_lang);
+
+  /// \brief Signature of one attribute value rendered in `lang`.
+  Evidence Extract(const wiki::AttributeValue& value,
+                   const std::string& lang) const;
+
+  /// \brief Canonical hub-language form of a referenced title.
+  std::string CanonicalTitle(const std::string& lang,
+                             const std::string& title) const;
+
+  /// \brief True iff the normalized title reads as a date fragment in any
+  /// supported language ("june 18", "18 de junho", "18 tháng 6", "1950").
+  static bool IsDateLikeTitle(const std::string& title);
+
+  const std::string& hub() const { return hub_; }
+
+ private:
+  const wiki::Corpus* corpus_;
+  const match::TranslationDictionary* dictionary_;
+  std::string hub_;
+};
+
+}  // namespace sync
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SYNC_EVIDENCE_H_

@@ -1,0 +1,213 @@
+#include "sync/oracle.h"
+
+#include <set>
+#include <utility>
+
+#include "text/normalize.h"
+
+namespace wikimatch {
+namespace sync {
+
+namespace {
+
+constexpr CellClass kScoredClasses[] = {CellClass::kInSync, CellClass::kStale,
+                                        CellClass::kMissing,
+                                        CellClass::kConflict};
+
+}  // namespace
+
+double SyncScore::micro_precision() const {
+  uint64_t tp = 0;
+  uint64_t total = 0;
+  for (const auto& [cls, s] : per_class) {
+    tp += s.true_positive;
+    total += s.engine_total;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(tp) / static_cast<double>(total);
+}
+
+double SyncScore::micro_recall() const {
+  uint64_t tp = 0;
+  uint64_t total = 0;
+  for (const auto& [cls, s] : per_class) {
+    tp += s.true_positive;
+    total += s.oracle_total;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(tp) / static_cast<double>(total);
+}
+
+SyncOracle::SyncOracle(const synth::GeneratedCorpus* gc) : gc_(gc) {
+  for (const synth::EntityRecord& ent : gc_->entities) {
+    if (ent.pair_lang.empty()) continue;  // hub-only: nothing to synchronize
+    const synth::TypeModel& model = gc_->models.at(ent.type);
+    std::map<std::string, const synth::Concept*> concept_of;
+    for (const synth::Concept& cpt : model.concepts) {
+      concept_of[cpt.id] = &cpt;
+    }
+
+    static const std::map<std::string, synth::CellTrace> kNoCells;
+    auto cells_of = [&](const std::string& lang)
+        -> const std::map<std::string, synth::CellTrace>& {
+      auto it = ent.cells.find(lang);
+      return it != ent.cells.end() ? it->second : kNoCells;
+    };
+    const auto& pair_cells = cells_of(ent.pair_lang);
+    const auto& hub_cells = cells_of(gc_->hub);
+    const std::string& pair_title = ent.titles.at(ent.pair_lang);
+
+    // Hub cells by concept (concepts are emitted at most once per article;
+    // the trace's concept names the *attribute*, surviving misplacement).
+    std::map<std::string, std::pair<const std::string*,
+                                    const synth::CellTrace*>>
+        hub_by_concept;
+    for (const auto& [attr, cell] : hub_cells) {
+      hub_by_concept.try_emplace(cell.concept_id,
+                                 std::make_pair(&attr, &cell));
+    }
+    std::set<std::string> pair_concepts;
+    for (const auto& [attr, cell] : pair_cells) {
+      pair_concepts.insert(cell.concept_id);
+    }
+
+    // Forward: every pair-edition cell whose concept exists in the hub
+    // schema (otherwise the alignment has no correspondent and the engine
+    // skips the cell — so does the oracle).
+    for (const auto& [attr, cell] : pair_cells) {
+      auto cpt_it = concept_of.find(cell.concept_id);
+      if (cpt_it == concept_of.end() ||
+          cpt_it->second->forms.find(gc_->hub) == cpt_it->second->forms.end()) {
+        continue;
+      }
+      CellKey key{ent.pair_lang, pair_title, attr};
+      auto hub_it = hub_by_concept.find(cell.concept_id);
+      if (hub_it == hub_by_concept.end()) {
+        labels_.emplace(key, CellClass::kMissing);
+        continue;
+      }
+      Evidence a = FromCell(cell, ent, ent.pair_lang, attr);
+      Evidence b = FromCell(*hub_it->second.second, ent, gc_->hub,
+                            *hub_it->second.first);
+      labels_.emplace(key, Classify(a, b));
+    }
+
+    // Reverse: hub cells whose concept the pair schema expresses but the
+    // pair article omitted.
+    for (const auto& [attr, cell] : hub_cells) {
+      auto cpt_it = concept_of.find(cell.concept_id);
+      if (cpt_it == concept_of.end() ||
+          cpt_it->second->forms.find(ent.pair_lang) ==
+              cpt_it->second->forms.end()) {
+        continue;
+      }
+      if (pair_concepts.count(cell.concept_id) > 0) continue;
+      labels_.emplace(CellKey{ent.pair_lang, pair_title, "\x01" + attr},
+                      CellClass::kMissing);
+    }
+  }
+}
+
+SyncOracle::CellKey SyncOracle::KeyOf(const CellVerdict& v) {
+  return v.pair_attr.empty()
+             ? CellKey{v.pair_lang, v.pair_title, "\x01" + v.hub_attr}
+             : CellKey{v.pair_lang, v.pair_title, v.pair_attr};
+}
+
+std::string SyncOracle::RefTitle(synth::RenderTrace::RefPool pool,
+                                 int idx) const {
+  const std::map<std::string, std::string>* titles = nullptr;
+  size_t i = static_cast<size_t>(idx);
+  switch (pool) {
+    case synth::RenderTrace::RefPool::kEntity:
+      if (i < gc_->supports.entities.size()) {
+        titles = &gc_->supports.entities[i].titles;
+      }
+      break;
+    case synth::RenderTrace::RefPool::kPlace:
+      if (i < gc_->supports.places.size()) {
+        titles = &gc_->supports.places[i].titles;
+      }
+      break;
+    case synth::RenderTrace::RefPool::kTerm:
+      if (i < gc_->supports.terms.size()) {
+        titles = &gc_->supports.terms[i].titles;
+      }
+      break;
+    case synth::RenderTrace::RefPool::kGenerated:
+      if (i < gc_->entities.size()) titles = &gc_->entities[i].titles;
+      break;
+  }
+  if (titles == nullptr) return "";
+  auto it = titles->find(gc_->hub);
+  return it != titles->end() ? it->second : "";
+}
+
+Evidence SyncOracle::FromCell(const synth::CellTrace& cell,
+                              const synth::EntityRecord& entity,
+                              const std::string& lang,
+                              const std::string& attr) const {
+  Evidence ev;
+  for (const auto& [pool, idx] : cell.trace.refs) {
+    std::string title = RefTitle(pool, idx);
+    if (!title.empty()) ev.refs.insert(std::move(title));
+  }
+  ev.numbers.insert(cell.trace.numbers.begin(), cell.trace.numbers.end());
+  // The string-equality fallback compares rendered text, so the oracle
+  // reads it from the parsed corpus exactly as the engine does.
+  wiki::ArticleId id =
+      gc_->corpus.FindByTitle(lang, entity.titles.at(lang));
+  if (id != wiki::kInvalidArticle) {
+    const wiki::Article& article = gc_->corpus.Get(id);
+    if (article.infobox.has_value()) {
+      const wiki::AttributeValue* value = article.infobox->Find(attr);
+      if (value != nullptr) ev.normalized = text::NormalizeValue(value->text);
+    }
+  }
+  return ev;
+}
+
+SyncScore SyncOracle::Score(const SyncReport& report) const {
+  SyncScore score;
+  for (CellClass cls : kScoredClasses) score.per_class[cls];
+  for (const auto& [key, cls] : labels_) {
+    if (cls == CellClass::kUnverifiable) {
+      ++score.oracle_unverifiable;
+    } else {
+      ++score.per_class[cls].oracle_total;
+    }
+  }
+  for (const CellVerdict& v : report.cells) {
+    if (v.cls == CellClass::kUnverifiable) {
+      ++score.engine_unverifiable;
+      continue;
+    }
+    ClassScore& s = score.per_class[v.cls];
+    ++s.engine_total;
+    auto it = labels_.find(KeyOf(v));
+    if (it != labels_.end() && it->second == v.cls) ++s.true_positive;
+  }
+  return score;
+}
+
+std::vector<SyncScope> SyncOracle::ScopesFromGroundTruth(
+    const synth::GeneratedCorpus& gc) {
+  std::vector<SyncScope> scopes;
+  for (const auto& [type_id, model] : gc.models) {
+    for (const auto& [pair_lang, n_dual] : model.dual_count) {
+      if (pair_lang == gc.hub || n_dual == 0) continue;
+      auto a_it = model.names.find(pair_lang);
+      auto b_it = model.names.find(gc.hub);
+      if (a_it == model.names.end() || b_it == model.names.end()) continue;
+      scopes.push_back(
+          SyncScope{pair_lang, gc.hub,
+                    text::NormalizeAttributeName(a_it->second),
+                    text::NormalizeAttributeName(b_it->second),
+                    &gc.ground_truth.at(type_id)});
+    }
+  }
+  return scopes;
+}
+
+}  // namespace sync
+}  // namespace wikimatch

@@ -1,0 +1,97 @@
+// Deterministic sync oracle over the generator's concept model.
+//
+// The generator records, per emitted infobox cell, exactly what the cell
+// claims after noise (synth::CellTrace). The oracle replays the SyncEngine's
+// walk over those records: for every dual entity it pairs cells by concept
+// id and labels the pair with the SAME Classify() the engine uses — so
+// precision/recall of an engine report against the oracle measures evidence
+// *extraction* fidelity (parsing, canonicalization, red-link translation),
+// not a second opinion about what "stale" means. See docs/SYNC.md.
+
+#ifndef WIKIMATCH_SYNC_ORACLE_H_
+#define WIKIMATCH_SYNC_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sync/sync_engine.h"
+#include "synth/generator.h"
+
+namespace wikimatch {
+namespace sync {
+
+/// \brief Precision/recall tallies of one cell class.
+struct ClassScore {
+  uint64_t true_positive = 0;
+  uint64_t engine_total = 0;  ///< engine rows claiming this class
+  uint64_t oracle_total = 0;  ///< oracle labels of this class
+
+  double precision() const {
+    return engine_total == 0 ? 1.0
+                             : static_cast<double>(true_positive) /
+                                   static_cast<double>(engine_total);
+  }
+  double recall() const {
+    return oracle_total == 0 ? 1.0
+                             : static_cast<double>(true_positive) /
+                                   static_cast<double>(oracle_total);
+  }
+};
+
+/// \brief Engine-vs-oracle agreement over the four scored classes
+/// (kUnverifiable rows/labels are tallied but not scored: "no comparable
+/// evidence" is a property both sides agree free text has by design).
+struct SyncScore {
+  std::map<CellClass, ClassScore> per_class;
+  uint64_t engine_unverifiable = 0;
+  uint64_t oracle_unverifiable = 0;
+
+  double micro_precision() const;
+  double micro_recall() const;
+};
+
+/// \brief Labels every aligned cell pair of a generated corpus.
+class SyncOracle {
+ public:
+  /// Borrows `gc`, which must outlive the oracle.
+  explicit SyncOracle(const synth::GeneratedCorpus* gc);
+
+  /// \brief Scores an engine report against the oracle labels. Rows are
+  /// matched by (pair language, pair title, attribute); engine rows the
+  /// oracle never labeled count against precision, oracle labels no engine
+  /// row matched count against recall.
+  SyncScore Score(const SyncReport& report) const;
+
+  size_t num_labels() const { return labels_.size(); }
+
+  /// \brief Ground-truth scopes (one per dual language of every type),
+  /// borrowing the concept-level alignment from `gc.ground_truth` — feed
+  /// these to SyncEngine::Run to measure classification in isolation from
+  /// alignment quality.
+  static std::vector<SyncScope> ScopesFromGroundTruth(
+      const synth::GeneratedCorpus& gc);
+
+ private:
+  /// (pair_lang, pair_title, attr token). Forward rows use the pair-side
+  /// attribute; reverse kMissing rows (attribute absent from the pair
+  /// edition) use "\x01" + hub attribute, which cannot collide with a
+  /// normalized name.
+  using CellKey = std::tuple<std::string, std::string, std::string>;
+
+  static CellKey KeyOf(const CellVerdict& v);
+  std::string RefTitle(synth::RenderTrace::RefPool pool, int idx) const;
+  Evidence FromCell(const synth::CellTrace& cell,
+                    const synth::EntityRecord& entity, const std::string& lang,
+                    const std::string& attr) const;
+
+  const synth::GeneratedCorpus* gc_;
+  std::map<CellKey, CellClass> labels_;
+};
+
+}  // namespace sync
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_SYNC_ORACLE_H_

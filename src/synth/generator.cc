@@ -458,8 +458,11 @@ util::Result<GeneratedCorpus> CorpusGenerator::Generate() {
         std::vector<std::string> article_langs = {options_.hub};
         if (!hub_only) article_langs.push_back(pair_lang);
         for (const auto& lang : article_langs) {
-          // Schema sampling.
+          // Schema sampling. `traces` parallels `attrs`: traces[k] is the
+          // semantic record of attrs[k]'s value (synced through the
+          // misplacement swap below).
           std::vector<std::pair<std::string, std::string>> attrs;
+          std::vector<CellTrace> traces;
           for (const auto& cpt : model.concepts) {
             auto form_it = cpt.forms.find(lang);
             if (form_it == cpt.forms.end()) continue;
@@ -491,6 +494,8 @@ util::Result<GeneratedCorpus> CorpusGenerator::Generate() {
                               en_gen, &type_rng);
             }
             std::string value;
+            CellTrace cell;
+            cell.concept_id = cpt.id;
             if (!fact.crossref_type.empty()) {
               // Links to generated entities of the target type.
               std::vector<std::string> parts;
@@ -509,20 +514,34 @@ util::Result<GeneratedCorpus> CorpusGenerator::Generate() {
                     type_rng.NextBool(options_.noise.p_link_drop)
                         ? title
                         : "[[" + title + "]]");
+                cell.trace.refs.emplace_back(
+                    RenderTrace::RefPool::kGenerated, ref);
               }
               value = util::Join(parts, ", ");
               if (value.empty()) continue;
             } else {
               value = RenderValue(fact, lang, out.supports, options_.noise,
-                                  gen_for(lang), &type_rng);
+                                  gen_for(lang), &type_rng, &cell.trace);
             }
             attrs.emplace_back(forms[pick], value);
+            traces.push_back(std::move(cell));
           }
-          // Misplacement noise: swap two values.
+          // Misplacement noise: swap two values. The traces move with the
+          // values but keep their attribute's concept id (CellTrace docs).
           if (attrs.size() >= 2 && type_rng.NextBool(options_.p_misplace)) {
             size_t i = type_rng.NextBounded(attrs.size());
             size_t j = type_rng.NextBounded(attrs.size());
-            if (i != j) std::swap(attrs[i].second, attrs[j].second);
+            if (i != j) {
+              std::swap(attrs[i].second, attrs[j].second);
+              std::swap(traces[i].trace, traces[j].trace);
+            }
+          }
+          // try_emplace: on a duplicate normalized name keep the first
+          // cell, matching Infobox::Find and the engine's dedup.
+          for (size_t k = 0; k < attrs.size(); ++k) {
+            rec.cells[lang].try_emplace(
+                text::NormalizeAttributeName(attrs[k].first),
+                std::move(traces[k]));
           }
 
           // Wikitext.

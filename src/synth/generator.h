@@ -24,6 +24,17 @@
 namespace wikimatch {
 namespace synth {
 
+/// \brief Semantic trace of one emitted infobox cell.
+struct CellTrace {
+  /// Concept id of the *attribute name* the cell sits under. When
+  /// misplacement noise swaps two values, the trace travels with the value
+  /// while the concept stays with the attribute — exactly what a reader of
+  /// the article sees.
+  std::string concept_id;
+  /// Post-noise semantics of the value actually rendered there.
+  RenderTrace trace;
+};
+
 /// \brief One generated dual-language (or hub-only) entity.
 struct EntityRecord {
   /// Hub type id ("film").
@@ -35,6 +46,10 @@ struct EntityRecord {
   std::map<std::string, std::string> titles;
   /// Concept id -> fact.
   std::map<std::string, Fact> facts;
+  /// language -> normalized attribute form -> trace of the emitted cell.
+  /// Only attributes the language's article actually included appear; this
+  /// is the sync oracle's exact record of what each edition claims.
+  std::map<std::string, std::map<std::string, CellTrace>> cells;
 };
 
 /// \brief Everything the experiments need.

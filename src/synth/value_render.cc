@@ -142,13 +142,26 @@ Fact DrawFact(ValueKind kind, size_t domain_begin, size_t domain_end,
 
 std::string RenderValue(const Fact& fact, const std::string& lang,
                         const SupportPools& pools, const RenderNoise& noise,
-                        const WordGenerator& word_gen, util::Rng* rng) {
+                        const WordGenerator& word_gen, util::Rng* rng,
+                        RenderTrace* trace) {
+  // Trace recording is write-only bookkeeping: every rng draw below happens
+  // unconditionally of `trace`, so instrumented and plain renderings are
+  // byte-identical.
+  auto trace_number = [&](int64_t n) {
+    if (trace != nullptr) trace->numbers.push_back(n);
+  };
+  auto trace_ref = [&](RenderTrace::RefPool pool, int ref) {
+    if (trace != nullptr) trace->refs.emplace_back(pool, ref);
+  };
   switch (fact.kind) {
     case ValueKind::kDate: {
       int day = fact.day;
       if (rng->NextBool(noise.p_value_noise)) {
         day = std::clamp(day + static_cast<int>(rng->NextInt(-2, 2)), 1, 28);
       }
+      trace_number(day);
+      trace_number(fact.month);
+      trace_number(fact.year);
       // Day-month part, linked to the day page when one exists (Wikipedia
       // infoboxes conventionally link dates; the cross-language links of
       // those pages are what lets the dictionary translate dates).
@@ -185,19 +198,25 @@ std::string RenderValue(const Fact& fact, const std::string& lang,
       if (fact.ref >= 0 && rng->NextBool(0.6)) {
         date += ", " + RenderLink(pools.places[static_cast<size_t>(fact.ref)],
                                   lang, noise, rng);
+        trace_ref(RenderTrace::RefPool::kPlace, fact.ref);
       }
       return date;
     }
     case ValueKind::kYear:
+      trace_number(fact.year);
       return std::to_string(fact.year);
-    case ValueKind::kNumber:
-      return std::to_string(MaybePerturb(fact.number, noise, rng));
+    case ValueKind::kNumber: {
+      int64_t shown = MaybePerturb(fact.number, noise, rng);
+      trace_number(shown);
+      return std::to_string(shown);
+    }
     case ValueKind::kDuration: {
       const char* unit = lang == "pt" ? "minutos"
                          : lang == "vi" ? "phút"
                                         : "minutes";
-      return std::to_string(MaybePerturb(fact.number, noise, rng)) + " " +
-             unit;
+      int64_t shown = MaybePerturb(fact.number, noise, rng);
+      trace_number(shown);
+      return std::to_string(shown) + " " + unit;
     }
     case ValueKind::kMoney: {
       int64_t amount = MaybePerturb(fact.number, noise, rng);
@@ -205,17 +224,24 @@ std::string RenderValue(const Fact& fact, const std::string& lang,
       // "US$ 44000000" in English and "US$ 44 milhões" in Portuguese /
       // "44 triệu USD" in Vietnamese — the tokens no longer coincide.
       if (lang == "pt" && amount >= 1000000) {
+        trace_number(amount / 1000000 * 1000000);
         return "US$ " + std::to_string(amount / 1000000) + " milhões";
       }
       if (lang == "vi" && amount >= 1000000) {
+        trace_number(amount / 1000000 * 1000000);
         return std::to_string(amount / 1000000) + " triệu USD";
       }
+      trace_number(amount);
       return "US$ " + std::to_string(amount);
     }
     case ValueKind::kEntity:
+      trace_ref(RenderTrace::RefPool::kEntity, fact.ref);
       return RenderLink(PoolFor(fact, pools, fact.ref), lang, noise, rng);
     case ValueKind::kPlace:
+      trace_ref(RenderTrace::RefPool::kPlace, fact.ref);
+      return RenderLink(PoolFor(fact, pools, fact.ref), lang, noise, rng);
     case ValueKind::kTerm:
+      trace_ref(RenderTrace::RefPool::kTerm, fact.ref);
       return RenderLink(PoolFor(fact, pools, fact.ref), lang, noise, rng);
     case ValueKind::kEntityList: {
       std::vector<std::string> parts;
@@ -226,6 +252,7 @@ std::string RenderValue(const Fact& fact, const std::string& lang,
         parts.push_back(
             RenderLink(pools.entities[static_cast<size_t>(ref)], lang, noise,
                        rng));
+        trace_ref(RenderTrace::RefPool::kEntity, ref);
       }
       if (rng->NextBool(noise.p_template_wrap)) {
         return "{{ubl|" + util::Join(parts, "|") + "}}";
@@ -236,7 +263,10 @@ std::string RenderValue(const Fact& fact, const std::string& lang,
       // Free text is language-specific, but often carries one shared
       // language-independent token (year span, URL, count).
       std::string text = word_gen.MakePhrase(rng, 2 + rng->NextBounded(3));
-      if (fact.number > 0) text += " " + std::to_string(fact.number);
+      if (fact.number > 0) {
+        trace_number(fact.number);
+        text += " " + std::to_string(fact.number);
+      }
       return text;
     }
     case ValueKind::kName: {

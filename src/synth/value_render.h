@@ -46,13 +46,37 @@ struct RenderNoise {
   double p_template_wrap = 0.20;  ///< wrap lists in {{ubl|...}}
 };
 
+/// \brief Post-noise semantic content of one rendered value: what the
+/// emitted wikitext actually claims, after perturbation, list-item drops,
+/// and magnitude truncation. The sync oracle (src/sync/oracle.h) labels
+/// cross-edition cell pairs from these instead of re-parsing wikitext, so
+/// its labels are exact by construction. Purely an out-parameter: filling
+/// it consumes no RNG draws and cannot change generated corpora.
+struct RenderTrace {
+  /// Which registry a reference index points into. kGenerated refs index
+  /// GeneratedCorpus::entities (cross-type values, filled by the
+  /// generator); the others index the SupportPools vectors.
+  enum class RefPool : uint8_t { kEntity, kPlace, kTerm, kGenerated };
+  /// Link-valued content that survived list-item drops. A dropped *link*
+  /// still counts — the anchor text names the entity; losing it is an
+  /// extraction failure the oracle is meant to expose, not truth.
+  std::vector<std::pair<RefPool, int>> refs;
+  /// Numeric content as shown: dates contribute {day, month, year}, money
+  /// the truncated magnitude ("44 milhões" -> 44000000), durations and
+  /// counts the perturbed figure. Day/year page links are date
+  /// representation, never refs.
+  std::vector<int64_t> numbers;
+};
+
 /// \brief Renders `fact` as the wikitext value for `lang`.
 ///
 /// `word_gen` must produce words in `lang`'s morphology (used by kText and
-/// unshared kName renderings).
+/// unshared kName renderings). When `trace` is non-null it receives the
+/// post-noise semantics of the returned value (see RenderTrace).
 std::string RenderValue(const Fact& fact, const std::string& lang,
                         const SupportPools& pools, const RenderNoise& noise,
-                        const WordGenerator& word_gen, util::Rng* rng);
+                        const WordGenerator& word_gen, util::Rng* rng,
+                        RenderTrace* trace = nullptr);
 
 /// \brief Draws a Fact for a concept `kind` whose link-valued domain is
 /// [domain_begin, domain_end) of the matching pool.

@@ -441,6 +441,105 @@ TEST(ServeTest, ConcurrentReloadDropsNoRequests) {
   std::remove(next.c_str());
 }
 
+// Like WriteGenerationSnapshot, but with a persisted sync report (section
+// kind 5) computed over the fixture's pipeline alignments.
+std::string WriteSyncSnapshot(uint64_t gen, const std::string& name) {
+  const Fixture& f = GetFixture();
+  store::Snapshot snapshot;
+  snapshot.corpus = f.gc.corpus;
+  snapshot.dictionary = f.dictionary;
+  snapshot.pipelines.emplace(store::LanguagePair("pt", "en"), f.result);
+  snapshot.meta.generation = gen;
+  sync::SyncEngine engine(&snapshot.corpus, &snapshot.dictionary, "en");
+  auto scopes = sync::SyncEngine::ScopesFromPipelines(snapshot.pipelines);
+  snapshot.sync_report = engine.Run(scopes);
+  snapshot.sync_report.generation = gen;
+  EXPECT_FALSE(snapshot.sync_report.cells.empty());
+  std::string path =
+      ::testing::TempDir() + "/" + std::to_string(::getpid()) + "." + name;
+  auto status = store::WriteSnapshotFile(snapshot, path);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return path;
+}
+
+TEST(ServeTest, SyncVerbsAnswerFromThePersistedReport) {
+  std::string path = WriteSyncSnapshot(0, "serve_sync_g0.snap");
+  auto service = MatchService::Load(path);
+  ASSERT_TRUE(service.ok());
+  std::string status_resp = (*service)->Handle("sync-status");
+  ASSERT_EQ(status_resp.compare(0, 3, "ok "), 0) << status_resp;
+  EXPECT_NE(status_resp.find("sync_generation=0 cells="), std::string::npos)
+      << status_resp;
+
+  const std::string& type_b = GetFixture().result.per_type.front().type_b;
+  const std::string request = "sync pt:en \"" + type_b + "\"";
+  std::string response = (*service)->Handle(request);
+  ASSERT_EQ(response.compare(0, 3, "ok "), 0) << response;
+  EXPECT_NE(response.find("sync_generation=0"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("cell\t"), std::string::npos) << response;
+  // Both sync verbs are cacheable; the repeats must hit.
+  (*service)->Handle(request);
+  (*service)->Handle("sync-status");
+  EXPECT_EQ((*service)->Stats().cache.hits, 2u);
+  std::remove(path.c_str());
+}
+
+// Generation pinning for the sync verbs: a request races reloads between
+// two snapshots whose reports differ only in generation, and every
+// response must be byte-identical to one of the two baselines — never
+// torn, mixed, or dropped. Runs under TSan via tools/check.sh.
+TEST(ServeTest, GenerationPinnedSyncSurvivesHotReload) {
+  std::string g0 = WriteSyncSnapshot(0, "serve_sync_race_g0.snap");
+  std::string g1 = WriteSyncSnapshot(1, "serve_sync_race_g1.snap");
+  auto service = MatchService::Load(g0);
+  ASSERT_TRUE(service.ok());
+  const std::string& type_b = GetFixture().result.per_type.front().type_b;
+  const std::vector<std::string> requests = {
+      "sync-status",
+      "sync pt:en \"" + type_b + "\"",
+  };
+  std::vector<std::vector<std::string>> allowed(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    allowed[i].push_back((*service)->Handle(requests[i]));
+    ASSERT_EQ(allowed[i][0].compare(0, 3, "ok "), 0) << allowed[i][0];
+  }
+  ASSERT_TRUE((*service)->Reload(g1).ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    allowed[i].push_back((*service)->Handle(requests[i]));
+    EXPECT_NE(allowed[i][0], allowed[i][1]);  // generations distinguishable
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failed_reloads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&, t]() {
+      for (int i = 0; i < 60; ++i) {
+        size_t pick = (i + t) % requests.size();
+        std::string response = (*service)->Handle(requests[pick]);
+        if (response != allowed[pick][0] && response != allowed[pick][1]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread writer([&]() {
+    for (int i = 0; i < 14; ++i) {
+      if (!(*service)->Reload(i % 2 == 0 ? g0 : g1).ok()) {
+        failed_reloads.fetch_add(1);
+      }
+    }
+  });
+  for (auto& reader : readers) reader.join();
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failed_reloads.load(), 0);
+  EXPECT_EQ((*service)->Stats().errors, 0u);
+  std::remove(g0.c_str());
+  std::remove(g1.c_str());
+}
+
 // ----------------------------------------------------------------- protocol
 
 TEST(ServeTest, ServeLoopSpeaksTheLineProtocol) {
@@ -458,7 +557,7 @@ TEST(ServeTest, ServeLoopSpeaksTheLineProtocol) {
   EXPECT_EQ(served, 3u);
   std::string text = out.str();
   EXPECT_EQ(text.compare(0, 10, "ok 1\npt:en"), 0) << text;
-  EXPECT_NE(text.find("err expected a language pair"), std::string::npos);
+  EXPECT_NE(text.find("err unknown request 'nonsense'"), std::string::npos);
 }
 
 }  // namespace

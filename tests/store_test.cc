@@ -406,6 +406,39 @@ TEST(StoreTest, Generation0SnapshotOmitsMetaSection) {
   std::remove(path.c_str());
 }
 
+TEST(StoreTest, SyncReportSectionRoundTripAndOmittedWhenEmpty) {
+  // Empty report: no kind-5 section, so pre-sync snapshots keep their
+  // exact byte layout (same additive pattern as the meta section).
+  std::string path = TempPath("sync_empty.snap");
+  ASSERT_TRUE(WriteSnapshotFile(MakeSnapshot(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  uint32_t section_count;
+  std::memcpy(&section_count, bytes.data() + 8, 4);
+  EXPECT_EQ(section_count, 3u);  // corpus, dictionary, one pipeline
+  std::remove(path.c_str());
+
+  Snapshot snapshot = MakeSnapshot();
+  snapshot.sync_report.generation = 4;
+  snapshot.sync_report.cells.push_back(
+      {"pt", "film", "filme x", "film x", "elenco", "starring",
+       sync::CellClass::kStale, 0.5});
+  snapshot.sync_report.cells.push_back(
+      {"pt", "film", "filme x", "film x", "", "country",
+       sync::CellClass::kMissing, 0.0});
+  snapshot.sync_report.updates.push_back(
+      {"en", "pt", "film x", "filme x", "starring", "elenco",
+       "[[a]], [[b]]", 0.5});
+  path = TempPath("sync_report.snap");
+  ASSERT_TRUE(WriteSnapshotFile(snapshot, path).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->sync_report == snapshot.sync_report);
+  // The other sections still load alongside the sync section.
+  EXPECT_EQ(loaded->corpus.size(), GetFixture().gc.corpus.size());
+  ASSERT_EQ(loaded->pipelines.size(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(StoreTest, PerUnitAlignStatsRoundTrip) {
   const match::PipelineResult& original = GetFixture().result;
   ASSERT_FALSE(original.per_type.empty());

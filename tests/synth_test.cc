@@ -6,7 +6,9 @@
 
 #include <set>
 
+#include "ingest/delta.h"
 #include "synth/concept_model.h"
+#include "synth/delta.h"
 #include "synth/generator.h"
 #include "synth/lexicon.h"
 #include "synth/mt_oracle.h"
@@ -455,6 +457,57 @@ TEST_F(GeneratorTest, MtOracleConventionalRateControlsExactHits) {
                 text::NormalizeAttributeName(en_it->second[0]));
     }
   }
+}
+
+// ------------------------------------------------------------- Delta batches
+
+// All of MakeDeltaBatch's randomness flows through DeltaSpec::seed, so two
+// batches from the same corpus and spec must be identical edit for edit —
+// the regression suites (sync Resync equivalence, ingest apply/rebuild
+// equivalence) depend on replaying the exact same batch.
+TEST_F(GeneratorTest, MakeDeltaBatchDeterministicForSameSeed) {
+  DeltaSpec spec;
+  spec.seed = 77;
+  spec.lang_a = "pt";
+  spec.lang_b = gc_->hub;
+  spec.attribute_renames = 2;
+  spec.value_edits = 6;
+  spec.new_articles = 2;
+  spec.removals = 2;
+  auto a = MakeDeltaBatch(gc_->corpus, spec);
+  auto b = MakeDeltaBatch(gc_->corpus, spec);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->added.size(), b->added.size());
+  ASSERT_EQ(a->updated.size(), b->updated.size());
+  for (size_t i = 0; i < a->added.size(); ++i) {
+    EXPECT_TRUE(ingest::ArticlesEqual(a->added[i], b->added[i]))
+        << a->added[i].title;
+  }
+  for (size_t i = 0; i < a->updated.size(); ++i) {
+    EXPECT_TRUE(ingest::ArticlesEqual(a->updated[i], b->updated[i]))
+        << a->updated[i].title;
+  }
+  EXPECT_EQ(a->removed, b->removed);
+  EXPECT_GT(a->size(), 0u);
+
+  // A different seed must actually move the batch, or the knob is dead.
+  DeltaSpec other = spec;
+  other.seed = 78;
+  auto c = MakeDeltaBatch(gc_->corpus, other);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  bool differs = a->removed != c->removed ||
+                 a->added.size() != c->added.size() ||
+                 a->updated.size() != c->updated.size();
+  if (!differs) {
+    for (size_t i = 0; i < a->updated.size(); ++i) {
+      if (!ingest::ArticlesEqual(a->updated[i], c->updated[i])) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
 }
 
 }  // namespace

@@ -17,6 +17,9 @@ Headline metrics (direction = which way is better):
     BENCH_ingest.json     delta_apply_ms down, speedup up, apply_align_ms
                           down (the dirty-unit realign rides the pool)
     BENCH_serve_net.json  requests_per_sec up, p99_ms down
+    BENCH_sync.json       full_sync_ms down, resync_ms down,
+                          resync_speedup up (the incremental re-sync must
+                          stay well ahead of a full pass on small deltas)
 
 Baseline resolution per file: `git show HEAD:<file>`; when the worktree
 copy is byte-identical to HEAD (artifact not regenerated this run), falls
@@ -41,6 +44,8 @@ HEADLINES = {
     "BENCH_ingest.json": {"delta_apply_ms": False, "speedup": True,
                           "apply_align_ms": False},
     "BENCH_serve_net.json": {"requests_per_sec": True, "p99_ms": False},
+    "BENCH_sync.json": {"full_sync_ms": False, "resync_ms": False,
+                        "resync_speedup": True},
 }
 
 

@@ -57,7 +57,8 @@ if [[ "${WIKIMATCH_SKIP_BENCH:-0}" != "1" ]]; then
     "$BUILD_DIR"/bench/bench_align > BENCH_align.json &&
     "$BUILD_DIR"/bench/bench_serve_throughput > BENCH_serve.json &&
     "$BUILD_DIR"/bench/bench_ingest > BENCH_ingest.json &&
-    "$BUILD_DIR"/bench/bench_serve_net > BENCH_serve_net.json
+    "$BUILD_DIR"/bench/bench_serve_net > BENCH_serve_net.json &&
+    "$BUILD_DIR"/bench/bench_sync > BENCH_sync.json
   }
   run_stage "bench artifacts" stage_bench_artifacts
   # Warning-only: benches on shared hardware are noisy; CI can run
@@ -210,7 +211,7 @@ if [[ "${WIKIMATCH_SKIP_TSAN:-0}" != "1" ]]; then
         -DWIKIMATCH_BUILD_BENCHMARKS=OFF -DWIKIMATCH_BUILD_EXAMPLES=OFF &&
       cmake --build "$tsan_dir" -j --target thread_pool_test parallel_test \
         align_join_test serve_test lru_cache_test net_server_test \
-        protocol_robustness_test ingest_test &&
+        protocol_robustness_test ingest_test sync_test &&
       # thread_pool_test stresses the shared work-stealing pool itself:
       # nested For, async steal-on-wait, handle reuse after pool death,
       # and the multi-level pipeline run on an injected pool.
@@ -229,7 +230,11 @@ if [[ "${WIKIMATCH_SKIP_TSAN:-0}" != "1" ]]; then
       "$tsan_dir"/tests/protocol_robustness_test &&
       # ingest_test covers destroying a matcher while its pool-queued
       # reclaim task is still in flight (destructor steal path).
-      "$tsan_dir"/tests/ingest_test
+      "$tsan_dir"/tests/ingest_test &&
+      # sync_test classifies article pairs on the shared pool at several
+      # thread counts (byte-identity across counts) and runs Resync
+      # concurrently with full Run results.
+      "$tsan_dir"/tests/sync_test
     }
     run_stage "TSan concurrency tests" stage_tsan
   else
