@@ -5,13 +5,35 @@
 //
 //   {"bench":"align","groups":...,"pairs":...,
 //    "naive_ms":...,"indexed_ms":...,"speedup":...,
-//    "indexed_mt_ms":...,"mt_threads":...,"mt_speedup":...,
+//    "indexed_mt_ms":...,"mt_threads":...,"mt_pool_workers":...,
+//    "mt_speedup":...,"pruned_ms":...,"pruned_pairs_pruned":...,
+//    "scalar_kernel_ms":...,"quantized_ms":...,
+//    "quantized_max_abs_delta":...,
 //    "postings_visited":...,"pairs_generated":...,"pairs_pruned":...,
-//    "identical":true,"mt_identical":true}
+//    "identical":true,"mt_identical":true,...}
+//
+// Runs, all over the same synthetic schema:
+//   * naive        — the all-pairs reference path
+//   * indexed      — the join (default vector kernel, exact weights)
+//   * indexed_mt   — same, sharded across the shared pool; `mt_threads` is
+//                    the *effective* participant count (calling thread plus
+//                    engaged pool workers), not the requested knob — on a
+//                    single-core box it honestly reads 1
+//   * pruned       — keep_all_pairs off, the production configuration,
+//                    over a schema extended with orphan groups whose pairs
+//                    carry zero evidence, so pairs_pruned is exercised;
+//                    matches must equal a full-materialization run over
+//                    the same schema
+//   * scalar       — kernel forced to the scalar reference, must be
+//                    bit-identical to the vector run
+//   * quantized    — use_exact_cosine off (fp32 posting weights); reports
+//                    the max |Δscore| against the exact run and whether the
+//                    derived matches moved
 //
 // `identical` asserts the indexed path reproduced the naive path's
 // AlignmentResult bit-for-bit; `mt_identical` asserts thread-count
-// invariance. A false value is a correctness regression, not noise.
+// invariance; `kernel_identical` and `pruned_identical` likewise. A false
+// value in any of them is a correctness regression, not noise.
 //
 // Modes: pass --smoke (or set WIKIMATCH_BENCH_SMOKE=1) for a tiny corpus
 // sanity run wired into tools/check.sh; scale the full run with
@@ -26,9 +48,11 @@
 #include <vector>
 
 #include "match/aligner.h"
+#include "match/join_kernels.h"
 #include "match/schema_builder.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace wikimatch {
 namespace {
@@ -44,9 +68,15 @@ double MsSince(Clock::time_point start) {
 // of `groups_per_lang` attribute groups over a shared (translated) value
 // vocabulary with Zipfian term usage, link vectors over a smaller target
 // space, and enough dual-document overlap for the LSI occurrence matrix.
+// `orphans_per_lang` appends attribute groups with private single-group
+// vocabularies, no links, and no dual-document overlap: their
+// cross-language pairs carry zero direct evidence and zero LSI
+// correlation, so the pruned (keep_all_pairs = false) configuration
+// actually drops pairs instead of reporting pairs_pruned = 0 forever.
 match::TypePairData SyntheticSchema(size_t groups_per_lang,
                                     size_t terms_per_group,
-                                    size_t num_duals, uint64_t seed) {
+                                    size_t num_duals, uint64_t seed,
+                                    size_t orphans_per_lang = 0) {
   util::Rng rng(seed);
   match::TypePairData data;
   data.lang_a = "pt";
@@ -88,6 +118,19 @@ match::TypePairData SyntheticSchema(size_t groups_per_lang,
       for (size_t d = 0; d < docs; ++d) {
         group.dual_docs.insert(
             static_cast<uint32_t>(rng.NextBounded(num_duals)));
+      }
+      data.groups.push_back(std::move(group));
+    }
+    for (size_t g = 0; g < orphans_per_lang; ++g) {
+      match::AttributeGroup group;
+      group.key.language = language;
+      group.key.name = "orphan_" + std::to_string(g);
+      group.occurrences = 2.0 + static_cast<double>(rng.NextBounded(6));
+      for (size_t t = 0; t < 8; ++t) {
+        uint32_t id = data.value_terms.GetOrAdd(
+            "orphan_" + language + "_" + std::to_string(g) + "_" +
+            std::to_string(t));
+        group.values.Add(id, 1.0);
       }
       data.groups.push_back(std::move(group));
     }
@@ -169,7 +212,17 @@ int Run(bool smoke) {
   match::MatcherConfig indexed_mt_config = config;
   indexed_mt_config.num_threads = util::DefaultThreads();
 
+  // Production configuration: no all-pairs retention, so the join prunes
+  // pairs with zero direct evidence whose LSI cannot admit them either.
+  match::MatcherConfig pruned_config = config;
+  pruned_config.keep_all_pairs = false;
+
+  // Opt-in fp32 posting weights.
+  match::MatcherConfig quantized_config = config;
+  quantized_config.use_exact_cosine = false;
+
   match::AlignmentResult naive_result, indexed_result, mt_result;
+  match::AlignmentResult pruned_result, scalar_result, quantized_result;
   double naive_ms =
       TimeAlign(match::AttributeAligner(naive_config), data, reps,
                 &naive_result);
@@ -178,26 +231,106 @@ int Run(bool smoke) {
                 &indexed_result);
   double mt_ms = TimeAlign(match::AttributeAligner(indexed_mt_config), data,
                            reps, &mt_result);
+  // The pruning run gets its own schema with orphan groups appended (the
+  // headline runs keep the unchanged workload, so their timings stay
+  // comparable across commits) plus a full-materialization reference run
+  // to diff matches against.
+  match::TypePairData pruned_data =
+      SyntheticSchema(groups_per_lang, terms_per_group, num_duals, 0xA11C4,
+                      std::max<size_t>(groups_per_lang / 8, 2));
+  match::AlignmentResult pruned_ref_result;
+  TimeAlign(match::AttributeAligner(indexed_config), pruned_data, 1,
+            &pruned_ref_result);
+  double pruned_ms = TimeAlign(match::AttributeAligner(pruned_config),
+                               pruned_data, reps, &pruned_result);
+  const match::JoinKernel scalar_kernel = match::JoinKernel::kScalar;
+  match::SetJoinKernelForTest(&scalar_kernel);
+  double scalar_ms = TimeAlign(match::AttributeAligner(indexed_config), data,
+                               reps, &scalar_result);
+  match::SetJoinKernelForTest(nullptr);
+  double quantized_ms =
+      TimeAlign(match::AttributeAligner(quantized_config), data, reps,
+                &quantized_result);
 
   bool identical = SameAlignment(naive_result, indexed_result);
   bool mt_identical = SameAlignment(indexed_result, mt_result);
+  bool kernel_identical = SameAlignment(indexed_result, scalar_result);
+  // Pruning drops only pairs no stage can admit, so matches and the
+  // processed order must not move (all_pairs is intentionally empty).
+  bool pruned_identical =
+      pruned_result.matches.Clusters() ==
+          pruned_ref_result.matches.Clusters() &&
+      SamePairs(pruned_result.processed_order,
+                pruned_ref_result.processed_order);
+
+  // Quantization precision: max |Δvsim|, |Δlsim| over the full scored
+  // list, aligned by (i, j) — the ordering itself may legitimately move.
+  double quantized_max_abs_delta = 0.0;
+  {
+    auto by_ij = [](std::vector<match::CandidatePair> v) {
+      std::sort(v.begin(), v.end(),
+                [](const match::CandidatePair& x,
+                   const match::CandidatePair& y) {
+                  return x.i != y.i ? x.i < y.i : x.j < y.j;
+                });
+      return v;
+    };
+    std::vector<match::CandidatePair> exact = by_ij(indexed_result.all_pairs);
+    std::vector<match::CandidatePair> quant =
+        by_ij(quantized_result.all_pairs);
+    if (exact.size() == quant.size()) {
+      for (size_t k = 0; k < exact.size(); ++k) {
+        quantized_max_abs_delta =
+            std::max({quantized_max_abs_delta,
+                      std::abs(exact[k].vsim - quant[k].vsim),
+                      std::abs(exact[k].lsim - quant[k].lsim)});
+      }
+    }
+  }
+  bool quantized_matches_identical =
+      quantized_result.matches.Clusters() ==
+      indexed_result.matches.Clusters();
+
+  // Effective mt participants: thread_pool_for runs inline when the knob
+  // is <= 1 and otherwise engages at most pool-size workers beside the
+  // calling thread.
+  const size_t requested = indexed_mt_config.num_threads;
+  const size_t pool_workers =
+      requested <= 1 ? 0 : util::ThreadPool::Global()->size();
+  const size_t mt_threads =
+      requested <= 1 ? 1 : std::min(requested, pool_workers + 1);
 
   const size_t n = data.groups.size();
   std::printf(
       "{\"bench\":\"align\",\"smoke\":%s,\"groups\":%zu,\"pairs\":%zu,"
       "\"naive_ms\":%.3f,\"indexed_ms\":%.3f,\"speedup\":%.2f,"
-      "\"indexed_mt_ms\":%.3f,\"mt_threads\":%zu,\"mt_speedup\":%.2f,"
+      "\"indexed_mt_ms\":%.3f,\"mt_threads\":%zu,\"mt_pool_workers\":%zu,"
+      "\"mt_speedup\":%.2f,"
+      "\"pruned_ms\":%.3f,\"pruned_pairs_generated\":%zu,"
+      "\"pruned_pairs_pruned\":%zu,"
+      "\"scalar_kernel_ms\":%.3f,\"quantized_ms\":%.3f,"
+      "\"quantized_max_abs_delta\":%.3e,"
+      "\"quantized_matches_identical\":%s,"
       "\"postings_visited\":%zu,\"pairs_generated\":%zu,"
       "\"pairs_pruned\":%zu,\"lsi_ms\":%.3f,\"feature_ms\":%.3f,"
-      "\"identical\":%s,\"mt_identical\":%s}\n",
+      "\"order_ms\":%.3f,\"match_ms\":%.3f,"
+      "\"identical\":%s,\"mt_identical\":%s,\"kernel_identical\":%s,"
+      "\"pruned_identical\":%s}\n",
       smoke ? "true" : "false", n, n * (n - 1) / 2, naive_ms, indexed_ms,
-      naive_ms / indexed_ms, mt_ms, util::DefaultThreads(),
-      naive_ms / mt_ms, indexed_result.stats.postings_visited,
+      naive_ms / indexed_ms, mt_ms, mt_threads, pool_workers,
+      naive_ms / mt_ms, pruned_ms, pruned_result.stats.pairs_generated,
+      pruned_result.stats.pairs_pruned, scalar_ms, quantized_ms,
+      quantized_max_abs_delta,
+      quantized_matches_identical ? "true" : "false",
+      indexed_result.stats.postings_visited,
       indexed_result.stats.pairs_generated,
       indexed_result.stats.pairs_pruned, indexed_result.stats.lsi_ms,
-      indexed_result.stats.feature_ms, identical ? "true" : "false",
-      mt_identical ? "true" : "false");
-  if (!identical || !mt_identical) {
+      indexed_result.stats.feature_ms, indexed_result.stats.order_ms,
+      indexed_result.stats.match_ms, identical ? "true" : "false",
+      mt_identical ? "true" : "false", kernel_identical ? "true" : "false",
+      pruned_identical ? "true" : "false");
+  if (!identical || !mt_identical || !kernel_identical ||
+      !pruned_identical) {
     std::fprintf(stderr,
                  "FAIL: indexed join diverged from the naive path\n");
     return 1;

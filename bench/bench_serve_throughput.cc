@@ -89,6 +89,9 @@ int Run() {
   }
 
   // ---- cold load ----
+  // With the mmap directory this is O(1) in snapshot size: the decode is
+  // deferred, so the honest total cost of reaching the first data answer
+  // is load_ms + core_build_ms (reported separately below).
   auto load_start = Clock::now();
   auto service = serve::MatchService::Load(path);
   double load_ms = MsSince(load_start);
@@ -97,6 +100,7 @@ int Run() {
                  service.status().ToString().c_str());
     return 1;
   }
+  const bool deferred = !(*service)->CoreLoaded();
 
   // ---- cached vs uncached latency ----
   const auto mix = RequestMix();
@@ -104,9 +108,14 @@ int Run() {
   uncached_options.cache_capacity = 0;
   auto uncached = serve::MatchService::Load(path, uncached_options);
   if (!uncached.ok()) return 1;
+  // First data request pays the deferred decode + index build; timing it
+  // up front also keeps it out of every latency median below.
+  auto core_start = Clock::now();
+  (*service)->Handle(mix[0]);
+  double core_build_ms = MsSince(core_start);
+  (*uncached)->Handle(mix[0]);
   constexpr int kPasses = 15;
   double uncached_ms = PassLatencyMs(uncached->get(), mix, kPasses);
-  (*service)->Handle(mix[0]);  // warm the cache before timing hits
   double cached_ms = PassLatencyMs(service->get(), mix, kPasses);
 
   // ---- multi-threaded throughput ----
@@ -131,7 +140,9 @@ int Run() {
   std::printf("  \"bench\": \"serve_throughput\",\n");
   std::printf("  \"scale\": %g,\n", scale);
   std::printf("  \"articles\": %zu,\n", gc->corpus.size());
-  std::printf("  \"snapshot_load_ms\": %.2f,\n", load_ms);
+  std::printf("  \"snapshot_load_ms\": %.3f,\n", load_ms);
+  std::printf("  \"load_deferred_core\": %s,\n", deferred ? "true" : "false");
+  std::printf("  \"core_build_ms\": %.2f,\n", core_build_ms);
   std::printf("  \"request_mix_size\": %zu,\n", mix.size());
   std::printf("  \"uncached_pass_ms\": %.3f,\n", uncached_ms);
   std::printf("  \"cached_pass_ms\": %.3f,\n", cached_ms);

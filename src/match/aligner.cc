@@ -20,6 +20,46 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
+// Shared body of InductiveGroupingScore: `member(k)` answers whether group
+// k is already matched. The public static passes MatchSet::Contains; the
+// Align hot loop passes an O(1) group-index bitmap (valid because group
+// keys are unique there, so key- and index-membership coincide).
+template <typename Member>
+double InductiveGroupingScoreImpl(const TypePairData& data,
+                                  const eval::MatchSet& matches,
+                                  Member&& member, size_t i, size_t j) {
+  const std::string& lang_i = data.groups[i].key.language;
+  const std::string& lang_j = data.groups[j].key.language;
+
+  // C_a: matched attributes co-occurring with a in its mono-lingual schema.
+  auto companions = [&](size_t idx, const std::string& lang) {
+    std::vector<size_t> out;
+    for (size_t k = 0; k < data.groups.size(); ++k) {
+      if (k == idx || data.groups[k].key.language != lang) continue;
+      if (!member(k)) continue;
+      auto it = data.co_occur.find({std::min(idx, k), std::max(idx, k)});
+      if (it != data.co_occur.end() && it->second > 0.0) out.push_back(k);
+    }
+    return out;
+  };
+  std::vector<size_t> ca = companions(i, lang_i);
+  std::vector<size_t> cb = companions(j, lang_j);
+
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t a : ca) {
+    for (size_t b : cb) {
+      if (!matches.AreMatched(data.groups[a].key, data.groups[b].key)) {
+        continue;
+      }
+      sum += AttributeAligner::GroupingScore(data, i, a) *
+             AttributeAligner::GroupingScore(data, j, b);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
 }  // namespace
 
 void AlignStats::Merge(const AlignStats& other) {
@@ -62,35 +102,9 @@ double AttributeAligner::GroupingScore(const TypePairData& data, size_t i,
 double AttributeAligner::InductiveGroupingScore(const TypePairData& data,
                                                 const eval::MatchSet& matches,
                                                 size_t i, size_t j) {
-  const std::string& lang_i = data.groups[i].key.language;
-  const std::string& lang_j = data.groups[j].key.language;
-
-  // C_a: matched attributes co-occurring with a in its mono-lingual schema.
-  auto companions = [&](size_t idx, const std::string& lang) {
-    std::vector<size_t> out;
-    for (size_t k = 0; k < data.groups.size(); ++k) {
-      if (k == idx || data.groups[k].key.language != lang) continue;
-      if (!matches.Contains(data.groups[k].key)) continue;
-      auto it = data.co_occur.find({std::min(idx, k), std::max(idx, k)});
-      if (it != data.co_occur.end() && it->second > 0.0) out.push_back(k);
-    }
-    return out;
-  };
-  std::vector<size_t> ca = companions(i, lang_i);
-  std::vector<size_t> cb = companions(j, lang_j);
-
-  double sum = 0.0;
-  size_t count = 0;
-  for (size_t a : ca) {
-    for (size_t b : cb) {
-      if (!matches.AreMatched(data.groups[a].key, data.groups[b].key)) {
-        continue;
-      }
-      sum += GroupingScore(data, i, a) * GroupingScore(data, j, b);
-      ++count;
-    }
-  }
-  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  return InductiveGroupingScoreImpl(
+      data, matches,
+      [&](size_t k) { return matches.Contains(data.groups[k].key); }, i, j);
 }
 
 // The retained reference feature pass: scores every pair by re-walking the
@@ -140,6 +154,7 @@ std::vector<CandidatePair> AttributeAligner::IndexedCandidates(
   jopts.use_vsim = config_.use_vsim;
   jopts.use_lsim = config_.use_lsim;
   jopts.min_link_support = config_.min_link_support;
+  jopts.quantize_weights = !config_.use_exact_cosine;
   SimilarityJoinIndex index(data, jopts);
 
   const bool need_all = config_.keep_all_pairs;
@@ -236,21 +251,39 @@ util::Result<AlignmentResult> AttributeAligner::Align(
   result.stats.feature_ms = MsSince(phase_start);
 
   phase_start = Clock::now();
-  auto order_key = [&](const CandidatePair& p) {
-    return config_.use_lsi ? p.lsi : std::max(p.vsim, p.lsim);
-  };
   // Order by correlation, breaking ties (frequent at small sample sizes,
   // where many LSI scores saturate) by the strongest direct evidence.
-  // Candidates enter lexicographically ordered, so the stable sort yields
-  // the same sequence whether or not zero-score pairs were pruned.
-  std::stable_sort(pairs.begin(), pairs.end(),
-                   [&](const CandidatePair& x, const CandidatePair& y) {
-                     double kx = order_key(x);
-                     double ky = order_key(y);
-                     if (kx != ky) return kx > ky;
-                     return std::max(x.vsim, x.lsim) >
-                            std::max(y.vsim, y.lsim);
-                   });
+  // Candidates enter lexicographically ordered and the input index is the
+  // final tie-break, which reproduces a stable sort of the 40-byte pairs
+  // while moving only 20-byte keys; the gather afterwards is one linear
+  // copy. The sequence is the same whether or not zero-score pairs were
+  // pruned.
+  {
+    struct OrderKey {
+      double primary;
+      double strongest;
+      size_t idx;
+    };
+    std::vector<OrderKey> keys(pairs.size());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      const CandidatePair& p = pairs[k];
+      keys[k].primary = config_.use_lsi ? p.lsi : std::max(p.vsim, p.lsim);
+      keys[k].strongest = std::max(p.vsim, p.lsim);
+      keys[k].idx = k;
+    }
+    std::sort(keys.begin(), keys.end(),
+              [](const OrderKey& x, const OrderKey& y) {
+                if (x.primary != y.primary) return x.primary > y.primary;
+                if (x.strongest != y.strongest) {
+                  return x.strongest > y.strongest;
+                }
+                return x.idx < y.idx;
+              });
+    std::vector<CandidatePair> ordered;
+    ordered.reserve(pairs.size());
+    for (const OrderKey& k : keys) ordered.push_back(pairs[k.idx]);
+    pairs = std::move(ordered);
+  }
   if (config_.keep_all_pairs) result.all_pairs = pairs;
   result.stats.order_ms = MsSince(phase_start);
   phase_start = Clock::now();
@@ -280,14 +313,78 @@ util::Result<AlignmentResult> AttributeAligner::Align(
     rng.Shuffle(&queue);
   }
 
+  // Group-index membership bitmap mirroring result.matches: the main loop
+  // consults membership twice per queued pair, and Contains() is a
+  // string-pair map lookup. Index- and key-membership coincide only when
+  // group keys are unique (SchemaBuilder guarantees it; hand-built data
+  // might not), so verify once and fall back to Contains() on duplicates.
+  std::vector<uint8_t> matched(n, 0);
+  bool keys_unique = true;
+  {
+    std::vector<const eval::AttrKey*> keys;
+    keys.reserve(n);
+    for (const auto& g : data.groups) keys.push_back(&g.key);
+    std::sort(keys.begin(), keys.end(),
+              [](const eval::AttrKey* a, const eval::AttrKey* b) {
+                return *a < *b;
+              });
+    for (size_t k = 1; k < keys.size(); ++k) {
+      if (*keys[k - 1] == *keys[k]) {
+        keys_unique = false;
+        break;
+      }
+    }
+  }
+  auto is_matched = [&](size_t idx, const eval::AttrKey& key,
+                        const eval::MatchSet& matches) {
+    return keys_unique ? matched[idx] != 0 : matches.Contains(key);
+  };
+
+  // Index-space mirror of result.matches' clusters (again only valid with
+  // unique keys): the absorb constraint needs every member of one cluster,
+  // and MatchSet::ClusterOf scans its whole string-keyed parent map and
+  // materializes a std::set per call. Here it is a member-list walk with
+  // integer LSI lookups. Order does not matter — the constraint is a
+  // conjunction over all members.
+  std::vector<uint32_t> uf(n);
+  std::vector<std::vector<uint32_t>> uf_members(n);
+  if (keys_unique) {
+    for (uint32_t k = 0; k < static_cast<uint32_t>(n); ++k) {
+      uf[k] = k;
+      uf_members[k].push_back(k);
+    }
+  }
+  auto uf_find = [&](uint32_t x) {
+    while (uf[x] != x) {
+      uf[x] = uf[uf[x]];
+      x = uf[x];
+    }
+    return x;
+  };
+  auto uf_unite = [&](uint32_t a, uint32_t b) {
+    a = uf_find(a);
+    b = uf_find(b);
+    if (a == b) return;
+    if (uf_members[a].size() < uf_members[b].size()) std::swap(a, b);
+    uf[b] = a;
+    uf_members[a].insert(uf_members[a].end(), uf_members[b].begin(),
+                         uf_members[b].end());
+    uf_members[b].clear();
+    uf_members[b].shrink_to_fit();
+  };
+
   // --- IntegrateMatches (Algorithm 2) -----------------------------------------
   auto integrate = [&](const CandidatePair& p, eval::MatchSet* matches) {
     const eval::AttrKey& ka = data.groups[p.i].key;
     const eval::AttrKey& kb = data.groups[p.j].key;
-    bool has_a = matches->Contains(ka);
-    bool has_b = matches->Contains(kb);
+    bool has_a = is_matched(p.i, ka, *matches);
+    bool has_b = is_matched(p.j, kb, *matches);
     if (!has_a && !has_b) {
       matches->AddPair(ka, kb);
+      matched[p.i] = matched[p.j] = 1;
+      if (keys_unique) {
+        uf_unite(static_cast<uint32_t>(p.i), static_cast<uint32_t>(p.j));
+      }
       return true;
     }
     if (has_a && has_b) return false;  // Both already matched: ignore.
@@ -296,15 +393,29 @@ util::Result<AlignmentResult> AttributeAligner::Align(
     const eval::AttrKey& present = has_a ? ka : kb;
     size_t newcomer_idx = has_a ? p.j : p.i;
     if (config_.use_integrate_constraint && config_.use_lsi) {
-      for (const eval::AttrKey& member : matches->ClusterOf(present)) {
-        size_t mi = data.GroupIndex(member);
-        if (mi == SIZE_MAX) continue;
-        if (lsi_scores.Score(mi, newcomer_idx) <= config_.t_lsi) {
-          return false;
+      if (keys_unique) {
+        size_t present_idx = has_a ? p.i : p.j;
+        uint32_t root = uf_find(static_cast<uint32_t>(present_idx));
+        for (uint32_t mi : uf_members[root]) {
+          if (lsi_scores.Score(mi, newcomer_idx) <= config_.t_lsi) {
+            return false;
+          }
+        }
+      } else {
+        for (const eval::AttrKey& member : matches->ClusterOf(present)) {
+          size_t mi = data.GroupIndex(member);
+          if (mi == SIZE_MAX) continue;
+          if (lsi_scores.Score(mi, newcomer_idx) <= config_.t_lsi) {
+            return false;
+          }
         }
       }
     }
     matches->AddPair(ka, kb);
+    matched[p.i] = matched[p.j] = 1;
+    if (keys_unique) {
+      uf_unite(static_cast<uint32_t>(p.i), static_cast<uint32_t>(p.j));
+    }
     return true;
   };
 
@@ -324,7 +435,12 @@ util::Result<AlignmentResult> AttributeAligner::Align(
     std::vector<std::pair<double, CandidatePair>> revised;
     for (const auto& p : uncertain) {
       if (std::max(p.vsim, p.lsim) < config_.t_revise_min_sim) continue;
-      double eg = InductiveGroupingScore(data, result.matches, p.i, p.j);
+      double eg =
+          keys_unique
+              ? InductiveGroupingScoreImpl(
+                    data, result.matches,
+                    [&](size_t k) { return matched[k] != 0; }, p.i, p.j)
+              : InductiveGroupingScore(data, result.matches, p.i, p.j);
       bool eligible = config_.use_inductive_grouping
                           ? eg > config_.t_inductive
                           : true;

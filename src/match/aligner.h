@@ -73,6 +73,13 @@ struct MatcherConfig {
   /// instead of the O(n²) all-pairs cosine loop. Output is bit-identical;
   /// the naive path is retained for equivalence tests and benchmarks.
   bool use_indexed_join = true;
+  /// Keep the join's similarity scores bit-identical to
+  /// SparseVector::Cosine (the default). When false, the join stores
+  /// posting weights and norms rounded to fp32 (half the memory traffic;
+  /// accumulation stays double) — scores move by at most fp32 rounding,
+  /// which bench_align measures against the exact path. Result-affecting,
+  /// so it is part of the snapshot OptionsFingerprint.
+  bool use_exact_cosine = true;
   /// Retain AlignmentResult::all_pairs (the full O(n²) scored list needed
   /// by MAP and threshold studies). The pipeline turns this off by default:
   /// large schemas otherwise balloon memory and snapshot size, and the

@@ -1,0 +1,85 @@
+#include "match/join_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace wikimatch {
+namespace match {
+namespace {
+
+// -1 = no override; otherwise a JoinKernel value. Relaxed atomics: tests
+// set the override before building indexes on other threads.
+std::atomic<int> g_override{-1};
+
+JoinKernel FromEnvironment() {
+  const char* env = std::getenv("WIKIMATCH_JOIN_KERNEL");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return JoinKernel::kScalar;
+  }
+  // "vector", unset, or unrecognized: the default kernel.
+  return JoinKernel::kVector;
+}
+
+}  // namespace
+
+JoinKernel ActiveJoinKernel() {
+  int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<JoinKernel>(forced);
+  // The environment cannot change mid-process in any supported setup, but
+  // benches re-read it per index build anyway; the call is two loads.
+  static const JoinKernel from_env = FromEnvironment();
+  return from_env;
+}
+
+void SetJoinKernelForTest(const JoinKernel* kernel) {
+  g_override.store(kernel == nullptr ? -1 : static_cast<int>(*kernel),
+                   std::memory_order_relaxed);
+}
+
+const char* JoinKernelName(JoinKernel kernel) {
+  return kernel == JoinKernel::kScalar ? "scalar" : "vector";
+}
+
+namespace kernels {
+
+void AccumulateF64(const uint32_t* groups, const double* weights, size_t n,
+                   double w, double* dot) {
+  size_t k = 0;
+  // The four adds per iteration hit four distinct slots (group ids are
+  // strictly increasing within a posting range), so they retire
+  // independently; GCC and Clang keep the products in vector registers and
+  // the scatter as four parallel read-modify-writes.
+  for (; k + 4 <= n; k += 4) {
+    const double p0 = w * weights[k];
+    const double p1 = w * weights[k + 1];
+    const double p2 = w * weights[k + 2];
+    const double p3 = w * weights[k + 3];
+    dot[groups[k]] += p0;
+    dot[groups[k + 1]] += p1;
+    dot[groups[k + 2]] += p2;
+    dot[groups[k + 3]] += p3;
+  }
+  for (; k < n; ++k) dot[groups[k]] += w * weights[k];
+}
+
+void AccumulateF32(const uint32_t* groups, const float* weights, size_t n,
+                   double w, double* dot) {
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const double p0 = w * static_cast<double>(weights[k]);
+    const double p1 = w * static_cast<double>(weights[k + 1]);
+    const double p2 = w * static_cast<double>(weights[k + 2]);
+    const double p3 = w * static_cast<double>(weights[k + 3]);
+    dot[groups[k]] += p0;
+    dot[groups[k + 1]] += p1;
+    dot[groups[k + 2]] += p2;
+    dot[groups[k + 3]] += p3;
+  }
+  for (; k < n; ++k) dot[groups[k]] += w * static_cast<double>(weights[k]);
+}
+
+}  // namespace kernels
+
+}  // namespace match
+}  // namespace wikimatch

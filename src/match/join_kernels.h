@@ -1,0 +1,74 @@
+// Runtime-dispatched accumulation kernels for the similarity join's
+// structure-of-arrays posting layout (docs/PERFORMANCE.md).
+//
+// A kernel scatters one row term's weight against a CSR posting range:
+//
+//   dot[group[k]] += w * weight[k]        for k in [0, n)
+//
+// Group ids within one range are strictly increasing (each group
+// contributes at most one posting per term), so every update in a range
+// targets a distinct slot — the adds are independent and the 4-wide
+// unrolled form is bit-identical to the sequential loop. Across ranges the
+// caller iterates the row's own terms in ascending term-id order, which is
+// exactly the order SparseVector::Dot visits shared terms; the whole
+// accumulation therefore reproduces the naive pairwise cosine bit for bit.
+//
+// Two kernels exist:
+//   * kScalar — the reference loop, with the seen/touched sparse-row
+//     bookkeeping the original join used (branchy, output sorted at the
+//     end). Kept as the equivalence baseline.
+//   * kVector — branch-free unrolled accumulation with no per-posting
+//     bookkeeping; nonzero partners are recovered by a dense sweep of the
+//     row's tail, which visits ascending j directly. Default.
+//
+// Selection: WIKIMATCH_JOIN_KERNEL=scalar|vector in the environment (read
+// once per process), overridable per test or bench via
+// SetJoinKernelForTest. tools/check.sh runs the align equivalence suite
+// under both values, plain and sanitized, so kernel divergence fails the
+// matrix instead of silently changing scores.
+
+#ifndef WIKIMATCH_MATCH_JOIN_KERNELS_H_
+#define WIKIMATCH_MATCH_JOIN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wikimatch {
+namespace match {
+
+enum class JoinKernel {
+  kScalar,
+  kVector,
+};
+
+/// \brief The kernel new SimilarityJoinIndex instances will use: the
+/// test/bench override if set, else $WIKIMATCH_JOIN_KERNEL, else kVector.
+JoinKernel ActiveJoinKernel();
+
+/// \brief Forces the kernel for subsequently built indexes (kernels are
+/// captured at index construction). Pass nullptr to clear the override and
+/// fall back to the environment/default.
+void SetJoinKernelForTest(const JoinKernel* kernel);
+
+/// \brief Display name ("scalar" / "vector").
+const char* JoinKernelName(JoinKernel kernel);
+
+namespace kernels {
+
+/// \brief dot[groups[k]] += w * weights[k], 4-wide unrolled. All group ids
+/// in the range are distinct, so the unroll is bit-identical to the
+/// sequential loop.
+void AccumulateF64(const uint32_t* groups, const double* weights, size_t n,
+                   double w, double* dot);
+
+/// \brief Quantized variant: weights were rounded to fp32 at build; the
+/// products and the accumulator stay double.
+void AccumulateF32(const uint32_t* groups, const float* weights, size_t n,
+                   double w, double* dot);
+
+}  // namespace kernels
+
+}  // namespace match
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_MATCH_JOIN_KERNELS_H_

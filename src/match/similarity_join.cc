@@ -1,9 +1,30 @@
 #include "match/similarity_join.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace wikimatch {
 namespace match {
+namespace {
+
+// fp32-rounded weight, widened back to double (quantized mode).
+inline double Quantize(double w) {
+  return static_cast<double>(static_cast<float>(w));
+}
+
+// Norm recomputed from fp32-rounded weights (quantized mode): the exact
+// mode reuses SparseVector::Norm() so its bytes stay pinned to the naive
+// path.
+double QuantizedNorm(const la::SparseVector& vec) {
+  double sum = 0.0;
+  for (const auto& [id, w] : vec.entries()) {
+    const double q = Quantize(w);
+    sum += q * q;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
 
 void SimilarityJoinIndex::Scratch::Prepare(size_t n) {
   if (vdot_.size() < n) {
@@ -16,97 +37,195 @@ void SimilarityJoinIndex::Scratch::Prepare(size_t n) {
 
 SimilarityJoinIndex::SimilarityJoinIndex(const TypePairData& data,
                                          const SimilarityJoinOptions& options)
-    : data_(&data), options_(options), num_groups_(data.groups.size()) {
+    : data_(&data),
+      options_(options),
+      kernel_(ActiveJoinKernel()),
+      num_groups_(data.groups.size()) {
   value_norm_.resize(num_groups_, 0.0);
   link_norm_.resize(num_groups_, 0.0);
   link_supported_.resize(num_groups_, 0);
-  if (options_.use_vsim) value_postings_.resize(data.value_terms.size());
 
+  // Pass 0: norms, support flags, and the term-space extents.
+  size_t num_value_terms = options_.use_vsim ? data.value_terms.size() : 0;
   for (size_t i = 0; i < num_groups_; ++i) {
     const AttributeGroup& g = data.groups[i];
-    value_norm_[i] = g.values.Norm();
-    link_norm_[i] = g.links.Norm();
+    value_norm_[i] = options_.quantize_weights ? QuantizedNorm(g.values)
+                                               : g.values.Norm();
+    link_norm_[i] = options_.quantize_weights ? QuantizedNorm(g.links)
+                                              : g.links.Norm();
     link_supported_[i] =
         g.links.Sum() >= options_.min_link_support * g.occurrences ? 1 : 0;
     if (options_.use_vsim) {
       for (const auto& [id, w] : g.values.entries()) {
-        // Ids come from data.value_terms, so they are < size(); guard
-        // anyway for hand-built TypePairData in tests.
-        if (id >= value_postings_.size()) value_postings_.resize(id + 1);
-        value_postings_[id].push_back({static_cast<uint32_t>(i), w});
-        ++num_postings_;
+        // Ids come from data.value_terms, so they are < size(); track the
+        // extent anyway for hand-built TypePairData in tests.
+        if (id >= num_value_terms) num_value_terms = id + 1;
       }
     }
     if (options_.use_lsim && link_supported_[i]) {
       for (const auto& [id, w] : g.links.entries()) {
-        link_postings_[id].push_back({static_cast<uint32_t>(i), w});
-        ++num_postings_;
+        link_ids_.push_back(id);
       }
     }
   }
+  std::sort(link_ids_.begin(), link_ids_.end());
+  link_ids_.erase(std::unique(link_ids_.begin(), link_ids_.end()),
+                  link_ids_.end());
+
+  // Pass 1: postings per term -> CSR offsets (exclusive prefix sum).
+  auto count_into = [](std::vector<uint64_t>* offsets, size_t term) {
+    ++(*offsets)[term + 1];
+  };
+  value_index_.offsets.assign(num_value_terms + 1, 0);
+  link_index_.offsets.assign(link_ids_.size() + 1, 0);
+  for (size_t i = 0; i < num_groups_; ++i) {
+    const AttributeGroup& g = data.groups[i];
+    if (options_.use_vsim) {
+      for (const auto& [id, w] : g.values.entries()) {
+        count_into(&value_index_.offsets, id);
+      }
+    }
+    if (options_.use_lsim && link_supported_[i]) {
+      for (const auto& [id, w] : g.links.entries()) {
+        size_t dense = static_cast<size_t>(
+            std::lower_bound(link_ids_.begin(), link_ids_.end(), id) -
+            link_ids_.begin());
+        count_into(&link_index_.offsets, dense);
+      }
+    }
+  }
+  for (size_t t = 1; t < value_index_.offsets.size(); ++t) {
+    value_index_.offsets[t] += value_index_.offsets[t - 1];
+  }
+  for (size_t t = 1; t < link_index_.offsets.size(); ++t) {
+    link_index_.offsets[t] += link_index_.offsets[t - 1];
+  }
+
+  // Pass 2: fill the parallel group/weight arrays. Groups are visited in
+  // ascending order, so ids within each term range come out sorted — the
+  // invariant the skip-to-j>i binary search and the kernels rely on.
+  const size_t value_total = value_index_.offsets.back();
+  const size_t link_total =
+      link_index_.offsets.empty() ? 0 : link_index_.offsets.back();
+  value_index_.groups.resize(value_total);
+  link_index_.groups.resize(link_total);
+  if (options_.quantize_weights) {
+    value_index_.weights_f32.resize(value_total);
+    link_index_.weights_f32.resize(link_total);
+  } else {
+    value_index_.weights.resize(value_total);
+    link_index_.weights.resize(link_total);
+  }
+  std::vector<uint64_t> value_cursor(value_index_.offsets.begin(),
+                                     value_index_.offsets.end() - 1);
+  std::vector<uint64_t> link_cursor(
+      link_index_.offsets.empty()
+          ? std::vector<uint64_t>()
+          : std::vector<uint64_t>(link_index_.offsets.begin(),
+                                  link_index_.offsets.end() - 1));
+  auto place = [&](PostingIndex* index, std::vector<uint64_t>* cursor,
+                   size_t term, uint32_t group, double w) {
+    const uint64_t at = (*cursor)[term]++;
+    index->groups[at] = group;
+    if (options_.quantize_weights) {
+      index->weights_f32[at] = static_cast<float>(w);
+    } else {
+      index->weights[at] = w;
+    }
+  };
+  for (size_t i = 0; i < num_groups_; ++i) {
+    const AttributeGroup& g = data.groups[i];
+    if (options_.use_vsim) {
+      for (const auto& [id, w] : g.values.entries()) {
+        place(&value_index_, &value_cursor, id, static_cast<uint32_t>(i), w);
+      }
+    }
+    if (options_.use_lsim && link_supported_[i]) {
+      for (const auto& [id, w] : g.links.entries()) {
+        size_t dense = static_cast<size_t>(
+            std::lower_bound(link_ids_.begin(), link_ids_.end(), id) -
+            link_ids_.begin());
+        place(&link_index_, &link_cursor, dense, static_cast<uint32_t>(i),
+              w);
+      }
+    }
+  }
+  num_postings_ = value_total + link_total;
 }
 
-void SimilarityJoinIndex::ForEachNonZero(
-    size_t i, Scratch* scratch,
-    const std::function<void(const SimilarityEntry&)>& emit) const {
-  scratch->Prepare(num_groups_);
+void SimilarityJoinIndex::AccumulateRow(size_t i, Scratch* scratch) const {
   const AttributeGroup& g = data_->groups[i];
+  const bool scalar = kernel_ == JoinKernel::kScalar;
+  const bool quantized = options_.quantize_weights;
+  const uint32_t row = static_cast<uint32_t>(i);
 
-  // Accumulates w_i · w_j for every posting partner j > i of one feature.
-  // The outer iteration follows the group's own std::map (ascending term
-  // id), so for a fixed pair the additions happen in exactly the order
-  // SparseVector::Dot visits the shared terms.
-  auto accumulate = [&](const la::SparseVector& vec, auto lookup,
-                        std::vector<double>* dot) {
-    for (const auto& [id, w] : vec.entries()) {
-      const PostingList* postings = lookup(id);
-      if (postings == nullptr) continue;
-      // Postings are appended in ascending group order; skip to j > i.
-      auto first = std::upper_bound(
-          postings->begin(), postings->end(), static_cast<uint32_t>(i),
-          [](uint32_t value, const Posting& p) { return value < p.group; });
-      for (auto it = first; it != postings->end(); ++it) {
-        if (!scratch->seen_[it->group]) {
-          scratch->seen_[it->group] = 1;
-          scratch->touched_.push_back(it->group);
+  // Accumulates w_i · w_j for every posting partner j > i of one term
+  // range. The outer iteration follows the group's own std::map (ascending
+  // term id), so for a fixed pair the additions happen in exactly the
+  // order SparseVector::Dot visits the shared terms; within a range all
+  // group ids are distinct, so the vector kernel's unroll cannot reorder
+  // additions to the same accumulator slot.
+  auto accumulate_range = [&](const PostingIndex& index, size_t term,
+                              double w, double* dot) {
+    const uint64_t begin = index.offsets[term];
+    const uint64_t end = index.offsets[term + 1];
+    const uint32_t* groups = index.groups.data();
+    // Postings are in ascending group order; skip to j > i.
+    const uint32_t* first =
+        std::upper_bound(groups + begin, groups + end, row);
+    const size_t at = static_cast<size_t>(first - groups);
+    const size_t len = static_cast<size_t>(end) - at;
+    if (len == 0) return;
+    scratch->postings_visited_ += len;
+    if (scalar) {
+      // Reference kernel: the original branchy loop with sparse-row
+      // bookkeeping (seen/touched), emitted later in sorted order.
+      if (quantized) {
+        const float* weights = index.weights_f32.data();
+        for (size_t k = at; k < at + len; ++k) {
+          const uint32_t j = groups[k];
+          if (!scratch->seen_[j]) {
+            scratch->seen_[j] = 1;
+            scratch->touched_.push_back(j);
+          }
+          dot[j] += w * static_cast<double>(weights[k]);
         }
-        (*dot)[it->group] += w * it->weight;
-        ++scratch->postings_visited_;
+      } else {
+        const double* weights = index.weights.data();
+        for (size_t k = at; k < at + len; ++k) {
+          const uint32_t j = groups[k];
+          if (!scratch->seen_[j]) {
+            scratch->seen_[j] = 1;
+            scratch->touched_.push_back(j);
+          }
+          dot[j] += w * weights[k];
+        }
       }
+    } else if (quantized) {
+      kernels::AccumulateF32(groups + at, index.weights_f32.data() + at,
+                             len, w, dot);
+    } else {
+      kernels::AccumulateF64(groups + at, index.weights.data() + at, len, w,
+                             dot);
     }
   };
 
   if (options_.use_vsim) {
-    accumulate(g.values,
-               [&](uint32_t id) -> const PostingList* {
-                 return id < value_postings_.size() ? &value_postings_[id]
-                                                    : nullptr;
-               },
-               &scratch->vdot_);
+    const size_t num_terms = value_index_.num_terms();
+    for (const auto& [id, w] : g.values.entries()) {
+      if (id >= num_terms) continue;
+      accumulate_range(value_index_, id,
+                       quantized ? Quantize(w) : w, scratch->vdot_.data());
+    }
   }
   if (options_.use_lsim && link_supported_[i]) {
-    accumulate(g.links,
-               [&](uint32_t id) -> const PostingList* {
-                 auto it = link_postings_.find(id);
-                 return it == link_postings_.end() ? nullptr : &it->second;
-               },
-               &scratch->ldot_);
-  }
-
-  std::sort(scratch->touched_.begin(), scratch->touched_.end());
-  for (uint32_t j : scratch->touched_) {
-    SimilarityEntry entry;
-    entry.j = j;
-    double vdot = scratch->vdot_[j];
-    double ldot = scratch->ldot_[j];
-    // Same expression shape as SparseVector::Cosine (dot / (na * nb)), so
-    // the result is bit-identical to the naive pairwise evaluation.
-    if (vdot != 0.0) entry.vsim = vdot / (value_norm_[i] * value_norm_[j]);
-    if (ldot != 0.0) entry.lsim = ldot / (link_norm_[i] * link_norm_[j]);
-    scratch->vdot_[j] = 0.0;
-    scratch->ldot_[j] = 0.0;
-    scratch->seen_[j] = 0;
-    if (entry.vsim != 0.0 || entry.lsim != 0.0) emit(entry);
+    for (const auto& [id, w] : g.links.entries()) {
+      auto it = std::lower_bound(link_ids_.begin(), link_ids_.end(), id);
+      if (it == link_ids_.end() || *it != id) continue;
+      const size_t dense = static_cast<size_t>(it - link_ids_.begin());
+      accumulate_range(link_index_, dense,
+                       quantized ? Quantize(w) : w, scratch->ldot_.data());
+    }
   }
 }
 

@@ -85,9 +85,67 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 util::Result<std::unique_ptr<MatchService>> MatchService::Load(
     const std::string& path, const ServiceOptions& options) {
-  auto snapshot = store::ReadSnapshotFile(path);
-  if (!snapshot.ok()) return snapshot.status();
-  auto service = Create(std::move(snapshot).ValueOrDie(), options);
+  auto service =
+      std::unique_ptr<MatchService>(new MatchService(options));
+  bool lazy = false;
+  auto mapped = store::MappedSnapshot::Map(path);
+  if (mapped.ok()) {
+    // New-format snapshot: defer decoding. Only the meta section (a few
+    // hundred bytes) is read now, so Load() is O(1) in the snapshot size.
+    // A directory missing the mandatory sections would fail at first use,
+    // so route that file to the parse path, which owns the error message.
+    const std::shared_ptr<store::MappedSnapshot>& snap = mapped.ValueOrDie();
+    bool have_corpus = false;
+    bool have_dictionary = false;
+    for (size_t i = 0; i < snap->num_sections(); ++i) {
+      if (snap->section_kind(i) == store::SectionKind::kCorpus) {
+        have_corpus = true;
+      }
+      if (snap->section_kind(i) == store::SectionKind::kDictionary) {
+        have_dictionary = true;
+      }
+    }
+    store::Snapshot meta_only;
+    util::Status meta_status = util::Status::OK();
+    if (have_corpus && have_dictionary) {
+      auto meta_payload = snap->PayloadOfKind(store::SectionKind::kMeta);
+      if (meta_payload.ok()) {
+        meta_status = store::DecodeSnapshotSection(
+            store::SectionKind::kMeta, meta_payload.ValueOrDie(), &meta_only);
+      } else if (meta_payload.status().code() !=
+                 util::StatusCode::kNotFound) {
+        meta_status = meta_payload.status();  // corrupt meta: parse decides
+      }  // no meta section (generation 0): serve the default meta
+    }
+    if (have_corpus && have_dictionary && meta_status.ok()) {
+      auto boot = std::make_shared<GenerationState>();
+      boot->snapshot = std::move(meta_only);
+      boot->mapped = std::move(mapped).ValueOrDie();
+      boot->load_seq = 1;
+      boot->loaded_unix = static_cast<int64_t>(std::time(nullptr));
+      boot->loaded_at = Clock::now();
+      {
+        util::MutexLock lock(service->gen_mu_);
+        service->boot_gen_ = std::move(boot);
+      }
+      service->loads_.store(1, std::memory_order_relaxed);
+      lazy = true;
+    }
+  }
+  if (!lazy) {
+    // Legacy layout (Map → NotFound) or anything else Map could not
+    // establish: the streaming parse path reads both layouts and produces
+    // the descriptive error for genuinely broken files.
+    auto snapshot = store::ReadSnapshotFile(path);
+    if (!snapshot.ok()) return snapshot.status();
+    auto gen =
+        BuildGeneration(std::move(snapshot).ValueOrDie(), 1, nullptr);
+    {
+      util::MutexLock lock(service->gen_mu_);
+      service->gen_ = std::move(gen);
+    }
+    service->loads_.store(1, std::memory_order_relaxed);
+  }
   {
     // Not yet visible to other threads, but taking the lock keeps the
     // guarded-field proof unconditional (and it is uncontended here).
@@ -99,23 +157,28 @@ util::Result<std::unique_ptr<MatchService>> MatchService::Load(
 
 std::unique_ptr<MatchService> MatchService::Create(
     store::Snapshot snapshot, const ServiceOptions& options) {
-  return std::unique_ptr<MatchService>(
-      new MatchService(std::move(snapshot), options));
+  auto service =
+      std::unique_ptr<MatchService>(new MatchService(options));
+  auto gen = BuildGeneration(std::move(snapshot), 1, nullptr);
+  {
+    util::MutexLock lock(service->gen_mu_);
+    service->gen_ = std::move(gen);
+  }
+  service->loads_.store(1, std::memory_order_relaxed);
+  return service;
 }
 
-MatchService::MatchService(store::Snapshot snapshot,
-                           const ServiceOptions& options)
+MatchService::MatchService(const ServiceOptions& options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
-      started_(Clock::now()) {
-  gen_ = BuildGeneration(std::move(snapshot), 1);
-  loads_.store(1, std::memory_order_relaxed);
-}
+      started_(Clock::now()) {}
 
 std::shared_ptr<const MatchService::GenerationState>
-MatchService::BuildGeneration(store::Snapshot snapshot, uint64_t load_seq) {
+MatchService::BuildGeneration(store::Snapshot snapshot, uint64_t load_seq,
+                              std::shared_ptr<store::MappedSnapshot> mapped) {
   auto gen = std::make_shared<GenerationState>();
   gen->snapshot = std::move(snapshot);
+  gen->mapped = std::move(mapped);
   gen->load_seq = load_seq;
   gen->loaded_unix = static_cast<int64_t>(std::time(nullptr));
   gen->loaded_at = Clock::now();
@@ -164,7 +227,45 @@ MatchService::BuildGeneration(store::Snapshot snapshot, uint64_t load_seq) {
 std::shared_ptr<const MatchService::GenerationState> MatchService::Current()
     const {
   util::MutexLock lock(gen_mu_);
-  return gen_;
+  return gen_ != nullptr ? gen_ : boot_gen_;
+}
+
+util::Result<std::shared_ptr<const MatchService::GenerationState>>
+MatchService::Core() const {
+  {
+    util::MutexLock lock(gen_mu_);
+    if (gen_ != nullptr) return gen_;
+  }
+  // Materialize once: core_mu_ serializes the decode; every other
+  // core-needing request blocks here and then finds gen_ set (or the
+  // sticky error).
+  util::MutexLock core_lock(core_mu_);
+  std::shared_ptr<const GenerationState> boot;
+  {
+    util::MutexLock lock(gen_mu_);
+    if (gen_ != nullptr) return gen_;  // built while we waited
+    boot = boot_gen_;
+  }
+  if (!core_error_.ok()) return core_error_;
+  if (boot == nullptr || boot->mapped == nullptr) {
+    return util::Status::Internal(
+        "no decoded generation and no mapped snapshot to build one from");
+  }
+  auto decoded = boot->mapped->Decode();
+  if (!decoded.ok()) {
+    core_error_ = decoded.status();  // sticky until a successful Reload()
+    return core_error_;
+  }
+  auto gen = BuildGeneration(std::move(decoded).ValueOrDie(), boot->load_seq,
+                             boot->mapped);
+  std::shared_ptr<const GenerationState> out;
+  {
+    util::MutexLock lock(gen_mu_);
+    // A Reload() that raced the decode wins: its generation is newer.
+    if (gen_ == nullptr) gen_ = std::move(gen);
+    out = gen_;
+  }
+  return out;
 }
 
 util::Status MatchService::Reload(const std::string& path) {
@@ -176,13 +277,32 @@ util::Status MatchService::Reload(const std::string& path) {
         "no snapshot path to reload from (service was built in memory; "
         "pass an explicit path)");
   }
-  auto snapshot = store::ReadSnapshotFile(source);
-  if (!snapshot.ok()) return snapshot.status();
-  auto gen = BuildGeneration(std::move(snapshot).ValueOrDie(),
-                             loads_.load(std::memory_order_relaxed) + 1);
+  // Deliberately eager, unlike Load(): decode *before* swapping so that on
+  // any error the previous generation keeps serving untouched.
+  store::Snapshot snapshot;
+  std::shared_ptr<store::MappedSnapshot> mapped;
+  auto mapped_result = store::MappedSnapshot::Map(source);
+  if (mapped_result.ok()) {
+    auto decoded = mapped_result.ValueOrDie()->Decode();
+    if (!decoded.ok()) return decoded.status();
+    snapshot = std::move(decoded).ValueOrDie();
+    mapped = std::move(mapped_result).ValueOrDie();
+  } else {
+    auto parsed = store::ReadSnapshotFile(source);
+    if (!parsed.ok()) return parsed.status();
+    snapshot = std::move(parsed).ValueOrDie();
+  }
+  auto gen = BuildGeneration(std::move(snapshot),
+                             loads_.load(std::memory_order_relaxed) + 1,
+                             std::move(mapped));
   {
     util::MutexLock lock(gen_mu_);
     gen_ = std::move(gen);
+  }
+  {
+    // A fresh generation supersedes any sticky lazy-decode failure.
+    util::MutexLock core_lock(core_mu_);
+    core_error_ = util::Status::OK();
   }
   loads_.fetch_add(1, std::memory_order_relaxed);
   source_path_ = source;
@@ -199,7 +319,9 @@ util::Result<std::vector<std::string>> MatchService::TranslateAttribute(
     const std::string& lang_a, const std::string& lang_b,
     const std::string& type_b, const std::string& lang,
     const std::string& name) const {
-  auto gen = Current();
+  auto core = Core();
+  if (!core.ok()) return core.status();
+  const auto& gen = core.ValueOrDie();
   const PairServing* pair = gen->FindPair(lang_a, lang_b);
   if (pair == nullptr) {
     return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
@@ -227,7 +349,9 @@ util::Result<std::vector<std::string>> MatchService::TranslateAttribute(
 util::Result<std::vector<std::string>> MatchService::ListAlignments(
     const std::string& lang_a, const std::string& lang_b,
     const std::string& type_b) const {
-  auto gen = Current();
+  auto core = Core();
+  if (!core.ok()) return core.status();
+  const auto& gen = core.ValueOrDie();
   const PairServing* pair = gen->FindPair(lang_a, lang_b);
   if (pair == nullptr) {
     return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
@@ -248,7 +372,9 @@ util::Result<std::vector<std::string>> MatchService::ListAlignments(
 util::Result<ServedQueryResult> MatchService::EvaluateTranslatedQuery(
     const std::string& lang_a, const std::string& lang_b,
     const std::string& query_text) const {
-  auto gen = Current();
+  auto core = Core();
+  if (!core.ok()) return core.status();
+  const auto& gen = core.ValueOrDie();
   const PairServing* pair = gen->FindPair(lang_a, lang_b);
   if (pair == nullptr) {
     return util::Status::NotFound("no pipeline for pair " + lang_a + ":" +
@@ -519,6 +645,20 @@ std::string MatchService::Dispatch(const GenerationState& gen,
   return RenderErr("verb '" + command + "' is not implemented");
 }
 
+namespace {
+
+// Verbs a meta-only boot generation can answer, so an mmap-loaded service
+// responds to health checks and protocol chatter before (and regardless
+// of) the first core decode. `reload` is here so a corrupt snapshot can be
+// replaced without first paying — or failing — a decode of the bad one.
+bool IsCoreFreeVerb(const std::string& command) {
+  return command == "help" || command == "quit" || command == "exit" ||
+         command == "health" || command == "version" ||
+         command == "generation" || command == "reload";
+}
+
+}  // namespace
+
 std::string MatchService::Handle(const std::string& line) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   // Pin one generation for the whole request. The cache key carries its
@@ -528,6 +668,26 @@ std::string MatchService::Handle(const std::string& line) {
   std::string key = std::to_string(gen->load_seq) + '\x1f' + line;
   std::string cached;
   if (cache_.Get(key, &cached)) return cached;
+  // Cache miss: data-bearing verbs need the decoded core (a no-op once it
+  // exists). The classification runs only here so hits — the hot path —
+  // never pay the token parse. A boot generation and the core it decodes
+  // into share a load_seq, so the key above stays valid either way.
+  size_t peek = 0;
+  std::string command;
+  NextToken(line, &peek, &command);
+  if (IsProtocolVerb(command) && !IsCoreFreeVerb(command)) {
+    auto core = Core();
+    if (!core.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return RenderErr(core.status().ToString());
+    }
+    gen = std::move(core).ValueOrDie();
+    // A reload racing between the pin and Core() can hand back a newer
+    // generation; re-key so the cached response stays coherent with the
+    // generation that produced it.
+    std::string core_key = std::to_string(gen->load_seq) + '\x1f' + line;
+    if (core_key != key) key = std::move(core_key);
+  }
   bool cacheable = false;
   std::string response = Dispatch(*gen, line, &cacheable);
   if (cacheable) {
@@ -564,6 +724,11 @@ size_t MatchService::CorpusSize() const { return Current()->snapshot.corpus.size
 
 uint64_t MatchService::Generation() const {
   return Current()->snapshot.meta.generation;
+}
+
+bool MatchService::CoreLoaded() const {
+  util::MutexLock lock(gen_mu_);
+  return gen_ != nullptr;
 }
 
 }  // namespace serve

@@ -15,6 +15,20 @@
 // cache: stale entries simply stop being addressable and age out of the
 // LRU.
 //
+// O(1) startup: Load() mmaps the snapshot (store/snapshot_reader.h) and
+// defers decoding — only the tiny meta section is read eagerly, so the
+// service constructs in constant time regardless of snapshot size and the
+// meta verbs (help, health, version, generation) answer immediately. The
+// first request that needs real data materializes the core (decode + index
+// build) once, under its own mutex; a decode failure is sticky and every
+// core-needing request reports it until a successful reload. Reload() is
+// deliberately *eager* — it decodes before swapping, preserving the "on
+// error the old generation keeps serving" contract. Snapshots without the
+// mmap directory (older writers) fall back to the original eager parse
+// path byte-identically. Each generation pins its MappedSnapshot, so
+// replacing or unlinking the snapshot file never invalidates a mapping
+// still being served from.
+//
 // Thread safety: a generation is read-only after construction (MatchSets
 // are fully path-compressed at build so even their lazy union-find
 // performs no writes), the generation pointer is swapped under a mutex,
@@ -38,6 +52,7 @@
 #include "query/translator.h"
 #include "serve/lru_cache.h"
 #include "store/snapshot.h"
+#include "store/snapshot_reader.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
@@ -85,8 +100,10 @@ struct ServedQueryResult {
 /// \brief Thread-safe snapshot-backed match server with hot reload.
 class MatchService {
  public:
-  /// \brief Reads the snapshot at `path` and builds the serving indexes.
-  /// The path is remembered as the default `Reload()` source.
+  /// \brief Opens the snapshot at `path` for serving. New-format
+  /// snapshots are mmapped and decoded lazily (O(1) regardless of size);
+  /// older formats are parsed eagerly as before. The path is remembered
+  /// as the default `Reload()` source.
   static util::Result<std::unique_ptr<MatchService>> Load(
       const std::string& path, const ServiceOptions& options = {});
 
@@ -133,11 +150,16 @@ class MatchService {
   /// \brief Language pairs available in the current generation.
   std::vector<store::LanguagePair> Pairs() const;
 
-  /// \brief Articles in the current generation's corpus.
+  /// \brief Articles in the current generation's corpus (0 while an
+  /// mmap-loaded core is still deferred — see CoreLoaded()).
   size_t CorpusSize() const;
 
   /// \brief Snapshot meta generation currently being served.
   uint64_t Generation() const;
+
+  /// \brief True once the decoded core (corpus, pairs, indexes) exists.
+  /// False between an mmap Load() and the first core-needing request.
+  bool CoreLoaded() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -153,6 +175,10 @@ class MatchService {
   struct GenerationState {
     store::Snapshot snapshot;
     std::map<store::LanguagePair, PairServing> pairs;
+    /// Pins the mmap this generation was decoded from (null for parsed or
+    /// in-memory snapshots): the pages stay valid even if the snapshot
+    /// file is replaced or unlinked, until the generation drains.
+    std::shared_ptr<store::MappedSnapshot> mapped;
     uint64_t load_seq = 0;    ///< 1 for the initial load, +1 per reload
     int64_t loaded_unix = 0;  ///< wall clock at install
     Clock::time_point loaded_at;
@@ -167,13 +193,19 @@ class MatchService {
                                 const std::string& lang_b) const;
   };
 
-  MatchService(store::Snapshot snapshot, const ServiceOptions& options);
+  explicit MatchService(const ServiceOptions& options);
 
   static std::shared_ptr<const GenerationState> BuildGeneration(
-      store::Snapshot snapshot, uint64_t load_seq);
+      store::Snapshot snapshot, uint64_t load_seq,
+      std::shared_ptr<store::MappedSnapshot> mapped);
 
-  /// Pins the current generation (shared_ptr copy under a short lock).
+  /// Pins the current generation: the decoded core when it exists, else
+  /// the meta-only boot generation (shared_ptr copy under a short lock).
   std::shared_ptr<const GenerationState> Current() const;
+
+  /// The decoded core, materializing it on first call in lazy (mmap)
+  /// mode. A decode failure is sticky until a successful Reload().
+  util::Result<std::shared_ptr<const GenerationState>> Core() const;
 
   /// Uncached dispatch against one pinned generation.
   std::string Dispatch(const GenerationState& gen, const std::string& line,
@@ -183,10 +215,22 @@ class MatchService {
   ShardedLruCache cache_;
   Clock::time_point started_;
 
-  // Guards gen_ (pointer copy + swap only). The pointed-to GenerationState
-  // is immutable after BuildGeneration, so only the pointer needs a lock.
+  // Guards gen_/boot_gen_ (pointer copy + swap only). The pointed-to
+  // GenerationState is immutable after BuildGeneration, so only the
+  // pointers need a lock. gen_ is mutable because Core() materializes it
+  // lazily from const readers.
   mutable util::Mutex gen_mu_;
-  std::shared_ptr<const GenerationState> gen_ WIKIMATCH_GUARDED_BY(gen_mu_);
+  mutable std::shared_ptr<const GenerationState> gen_
+      WIKIMATCH_GUARDED_BY(gen_mu_);
+  /// Meta-only generation from an mmap Load(): snapshot.meta plus the
+  /// pinned mapping, no decoded content. Null in eager modes.
+  std::shared_ptr<const GenerationState> boot_gen_
+      WIKIMATCH_GUARDED_BY(gen_mu_);
+
+  // Serializes the one-time lazy core build; sticky decode error.
+  mutable util::Mutex core_mu_;
+  mutable util::Status core_error_ WIKIMATCH_GUARDED_BY(core_mu_) =
+      util::Status::OK();
 
   util::Mutex reload_mu_;  // serializes writers; guards source_path_
   std::string source_path_ WIKIMATCH_GUARDED_BY(reload_mu_);

@@ -54,6 +54,7 @@ OptionsFingerprint OptionsFingerprint::From(
   fp.single_step = m.single_step;
   fp.random_seed = m.random_seed;
   fp.keep_all_pairs = m.keep_all_pairs;
+  fp.use_exact_cosine = m.use_exact_cosine;
   fp.translate_values = options.schema.translate_values;
   fp.schema_min_occurrences = options.schema.min_occurrences;
   fp.schema_max_sample_infoboxes = options.schema.max_sample_infoboxes;
@@ -77,6 +78,7 @@ std::string OptionsFingerprint::ToString() const {
      << " random_order=" << random_order << " single_step=" << single_step
      << " random_seed=" << random_seed
      << " keep_all_pairs=" << keep_all_pairs
+     << " use_exact_cosine=" << use_exact_cosine
      << " translate_values=" << translate_values
      << " schema_min_occurrences=" << schema_min_occurrences
      << " schema_max_sample_infoboxes=" << schema_max_sample_infoboxes
@@ -85,12 +87,13 @@ std::string OptionsFingerprint::ToString() const {
   return os.str();
 }
 
-util::Result<SnapshotWriter> SnapshotWriter::Open(const std::string& path) {
+util::Result<SnapshotWriter> SnapshotWriter::Open(const std::string& path,
+                                                  bool legacy_layout) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return util::Status::IoError("cannot open " + path + " for writing");
   }
-  SnapshotWriter writer(file);
+  SnapshotWriter writer(file, legacy_layout);
   // Provisional header with section_count = 0; Finish() patches it. A
   // reader that sees zero sections treats the file as incomplete.
   auto status = WriteAll(file, EncodeHeader(0));
@@ -99,7 +102,10 @@ util::Result<SnapshotWriter> SnapshotWriter::Open(const std::string& path) {
 }
 
 SnapshotWriter::SnapshotWriter(SnapshotWriter&& other) noexcept
-    : file_(other.file_), section_count_(other.section_count_) {
+    : file_(other.file_),
+      legacy_layout_(other.legacy_layout_),
+      section_count_(other.section_count_),
+      sections_(std::move(other.sections_)) {
   other.file_ = nullptr;
 }
 
@@ -107,7 +113,9 @@ SnapshotWriter& SnapshotWriter::operator=(SnapshotWriter&& other) noexcept {
   if (this != &other) {
     if (file_ != nullptr) std::fclose(file_);
     file_ = other.file_;
+    legacy_layout_ = other.legacy_layout_;
     section_count_ = other.section_count_;
+    sections_ = std::move(other.sections_);
     other.file_ = nullptr;
   }
   return *this;
@@ -122,13 +130,23 @@ util::Status SnapshotWriter::WriteSection(SectionKind kind,
   if (file_ == nullptr) {
     return util::Status::Internal("snapshot writer already finished");
   }
+  long at = std::ftell(file_);
+  if (at < 0) {
+    return util::Status::IoError("cannot tell position in snapshot file");
+  }
+  const uint32_t crc = Crc32(payload);
   util::BinaryWriter header;
   header.PutU32(static_cast<uint32_t>(kind));
   header.PutU64(payload.size());
-  header.PutU32(Crc32(payload));
+  header.PutU32(crc);
   WIKIMATCH_RETURN_NOT_OK(WriteAll(file_, header.buffer()));
   WIKIMATCH_RETURN_NOT_OK(WriteAll(file_, payload));
   ++section_count_;
+  if (kind != SectionKind::kPad && kind != SectionKind::kDirectory) {
+    sections_.push_back(SectionInfo{static_cast<uint32_t>(kind),
+                                    static_cast<uint64_t>(at),
+                                    payload.size(), crc});
+  }
   return util::Status::OK();
 }
 
@@ -197,6 +215,9 @@ util::Status SnapshotWriter::WriteMeta(const SnapshotMeta& meta) {
     w.PutU64(fp.schema_max_sample_infoboxes);
     w.PutU64(fp.type_min_votes);
     w.PutDouble(fp.type_min_confidence);
+    // Trailing fingerprint extension (same tolerant-read pattern as the
+    // fingerprint itself): older readers stop before it.
+    w.PutU8(fp.use_exact_cosine ? 1 : 0);
   }
   return WriteSection(SectionKind::kMeta, w.buffer());
 }
@@ -209,6 +230,47 @@ util::Status SnapshotWriter::WriteSyncReport(const sync::SyncReport& report) {
 util::Status SnapshotWriter::Finish() {
   if (file_ == nullptr) {
     return util::Status::Internal("snapshot writer already finished");
+  }
+  if (!legacy_layout_) {
+    // Pad section: sized so the directory *payload* (which follows the pad
+    // payload plus one more 16-byte section header) starts 8-byte-aligned,
+    // making its u64 entries readable in place from an mmap base.
+    long at = std::ftell(file_);
+    if (at < 0) {
+      return util::Status::IoError("cannot tell position in snapshot file");
+    }
+    const uint64_t dir_payload_unpadded =
+        static_cast<uint64_t>(at) + 2 * kSectionHeaderSize;
+    const size_t pad = (8 - dir_payload_unpadded % 8) % 8;
+    WIKIMATCH_RETURN_NOT_OK(
+        WriteSection(SectionKind::kPad, std::string(pad, '\0')));
+
+    long dir_at = std::ftell(file_);
+    if (dir_at < 0) {
+      return util::Status::IoError("cannot tell position in snapshot file");
+    }
+    util::BinaryWriter dir;
+    dir.PutU64(sections_.size());
+    for (const SectionInfo& s : sections_) {
+      dir.PutU32(s.kind);
+      dir.PutU32(0);  // reserved
+      dir.PutU64(s.header_offset);
+      dir.PutU64(s.payload_size);
+      dir.PutU32(s.crc);
+      dir.PutU32(0);  // reserved
+    }
+    WIKIMATCH_RETURN_NOT_OK(
+        WriteSection(SectionKind::kDirectory, dir.buffer()));
+
+    // Footer: trailing bytes the streaming reader never looks at (it reads
+    // exactly section_count sections).
+    util::BinaryWriter offset_bytes;
+    offset_bytes.PutU64(static_cast<uint64_t>(dir_at));
+    util::BinaryWriter footer;
+    footer.PutU64(static_cast<uint64_t>(dir_at));
+    footer.PutU32(Crc32(offset_bytes.buffer()));
+    footer.PutU32(kSnapshotFooterMagic);
+    WIKIMATCH_RETURN_NOT_OK(WriteAll(file_, footer.buffer()));
   }
   if (std::fseek(file_, 0, SEEK_SET) != 0) {
     return util::Status::IoError("cannot seek to snapshot header");
@@ -224,8 +286,8 @@ util::Status SnapshotWriter::Finish() {
 }
 
 util::Status WriteSnapshotFile(const Snapshot& snapshot,
-                               const std::string& path) {
-  auto writer = SnapshotWriter::Open(path);
+                               const std::string& path, bool legacy_layout) {
+  auto writer = SnapshotWriter::Open(path, legacy_layout);
   if (!writer.ok()) return writer.status();
   WIKIMATCH_RETURN_NOT_OK(writer->WriteCorpus(snapshot.corpus));
   WIKIMATCH_RETURN_NOT_OK(writer->WriteDictionary(snapshot.dictionary));
@@ -245,6 +307,145 @@ util::Status WriteSnapshotFile(const Snapshot& snapshot,
     WIKIMATCH_RETURN_NOT_OK(writer->WriteSyncReport(snapshot.sync_report));
   }
   return writer->Finish();
+}
+
+util::Status DecodeSnapshotSection(SectionKind kind,
+                                   std::string_view payload,
+                                   Snapshot* snapshot) {
+  util::BinaryReader pr(payload);
+  switch (kind) {
+    case SectionKind::kCorpus: {
+      auto corpus = wiki::DecodeCorpus(&pr);
+      if (!corpus.ok()) {
+        return corpus.status().WithContext("snapshot corpus section");
+      }
+      snapshot->corpus = std::move(corpus).ValueOrDie();
+      break;
+    }
+    case SectionKind::kDictionary: {
+      auto dict = match::DecodeDictionary(&pr);
+      if (!dict.ok()) {
+        return dict.status().WithContext("snapshot dictionary section");
+      }
+      snapshot->dictionary = std::move(dict).ValueOrDie();
+      break;
+    }
+    case SectionKind::kPipeline: {
+      auto lang_a = pr.ReadString();
+      if (!lang_a.ok()) return lang_a.status();
+      auto lang_b = pr.ReadString();
+      if (!lang_b.ok()) return lang_b.status();
+      auto result = match::DecodePipelineResult(&pr);
+      if (!result.ok()) {
+        return result.status().WithContext("snapshot pipeline section " +
+                                           *lang_a + ":" + *lang_b);
+      }
+      snapshot->pipelines.emplace(
+          LanguagePair(std::move(lang_a).ValueOrDie(),
+                       std::move(lang_b).ValueOrDie()),
+          std::move(result).ValueOrDie());
+      break;
+    }
+    case SectionKind::kMeta: {
+      SnapshotMeta meta;
+      auto gen = pr.ReadU64();
+      if (!gen.ok()) {
+        return gen.status().WithContext("snapshot meta section");
+      }
+      meta.generation = gen.ValueOrDie();
+      auto count = pr.ReadU64();
+      if (!count.ok()) {
+        return count.status().WithContext("snapshot meta section");
+      }
+      for (uint64_t i = 0; i < count.ValueOrDie(); ++i) {
+        DeltaRecord rec;
+        uint64_t* fields[] = {&rec.generation,     &rec.articles_added,
+                              &rec.articles_updated, &rec.articles_removed,
+                              &rec.units_reused,   &rec.units_recomputed};
+        for (uint64_t* field : fields) {
+          auto v = pr.ReadU64();
+          if (!v.ok()) {
+            return v.status().WithContext("snapshot meta section");
+          }
+          *field = v.ValueOrDie();
+        }
+        meta.history.push_back(rec);
+      }
+      // Options fingerprint: optional trailing fields. Files from
+      // writers that predate it simply end here (flag read fails on
+      // exhausted payload → absent); a zero flag byte also means absent.
+      if (auto flag = pr.ReadU8(); flag.ok() && flag.ValueOrDie() == 1) {
+        OptionsFingerprint fp;
+        auto rd = [&pr](double* out) {
+          auto v = pr.ReadDouble();
+          if (!v.ok()) return v.status();
+          *out = v.ValueOrDie();
+          return util::Status::OK();
+        };
+        auto ru = [&pr](uint64_t* out) {
+          auto v = pr.ReadU64();
+          if (!v.ok()) return v.status();
+          *out = v.ValueOrDie();
+          return util::Status::OK();
+        };
+        auto rb = [&pr](bool* out) {
+          auto v = pr.ReadU8();
+          if (!v.ok()) return v.status();
+          *out = v.ValueOrDie() != 0;
+          return util::Status::OK();
+        };
+        util::Status st = util::Status::OK();
+        if (st.ok()) st = rd(&fp.t_sim);
+        if (st.ok()) st = rd(&fp.t_lsi);
+        if (st.ok()) st = rd(&fp.t_inductive);
+        if (st.ok()) st = rd(&fp.t_revise_min_sim);
+        if (st.ok()) st = rd(&fp.min_link_support);
+        if (st.ok()) st = ru(&fp.lsi_rank);
+        if (st.ok()) st = rd(&fp.lsi_co_occur_tolerance);
+        if (st.ok()) st = rb(&fp.use_vsim);
+        if (st.ok()) st = rb(&fp.use_lsim);
+        if (st.ok()) st = rb(&fp.use_lsi);
+        if (st.ok()) st = rb(&fp.use_integrate_constraint);
+        if (st.ok()) st = rb(&fp.use_revise_uncertain);
+        if (st.ok()) st = rb(&fp.use_inductive_grouping);
+        if (st.ok()) st = rb(&fp.random_order);
+        if (st.ok()) st = rb(&fp.single_step);
+        if (st.ok()) st = ru(&fp.random_seed);
+        if (st.ok()) st = rb(&fp.keep_all_pairs);
+        if (st.ok()) st = rb(&fp.translate_values);
+        if (st.ok()) st = ru(&fp.schema_min_occurrences);
+        if (st.ok()) st = ru(&fp.schema_max_sample_infoboxes);
+        if (st.ok()) st = ru(&fp.type_min_votes);
+        if (st.ok()) st = rd(&fp.type_min_confidence);
+        if (!st.ok()) {
+          return st.WithContext("snapshot meta options fingerprint");
+        }
+        // use_exact_cosine rode in after the original fingerprint: files
+        // written before it end exactly here and read back as true.
+        if (auto v = pr.ReadU8(); v.ok()) {
+          fp.use_exact_cosine = v.ValueOrDie() != 0;
+        }
+        meta.options = fp;
+      }
+      // Any further trailing bytes (fields appended by a newer writer)
+      // are ignored.
+      snapshot->meta = std::move(meta);
+      break;
+    }
+    case SectionKind::kSyncReport: {
+      auto report = sync::DecodeSyncReport(std::string(payload));
+      if (!report.ok()) {
+        return report.status().WithContext("snapshot sync report section");
+      }
+      snapshot->sync_report = std::move(report).ValueOrDie();
+      break;
+    }
+    default:
+      // Unknown kind within a supported version (and the pad/directory
+      // sections, which carry no snapshot content): skip.
+      break;
+  }
+  return util::Status::OK();
 }
 
 util::Result<Snapshot> ReadSnapshotFile(const std::string& path) {
@@ -331,136 +532,11 @@ util::Result<Snapshot> ReadSnapshotFile(const std::string& path) {
           std::to_string(s) + " (kind " + std::to_string(kind) + ")");
     }
 
-    util::BinaryReader pr(payload);
-    switch (static_cast<SectionKind>(kind)) {
-      case SectionKind::kCorpus: {
-        auto corpus = wiki::DecodeCorpus(&pr);
-        if (!corpus.ok()) {
-          return corpus.status().WithContext("snapshot corpus section");
-        }
-        snapshot.corpus = std::move(corpus).ValueOrDie();
-        have_corpus = true;
-        break;
-      }
-      case SectionKind::kDictionary: {
-        auto dict = match::DecodeDictionary(&pr);
-        if (!dict.ok()) {
-          return dict.status().WithContext("snapshot dictionary section");
-        }
-        snapshot.dictionary = std::move(dict).ValueOrDie();
-        have_dictionary = true;
-        break;
-      }
-      case SectionKind::kPipeline: {
-        auto lang_a = pr.ReadString();
-        if (!lang_a.ok()) return lang_a.status();
-        auto lang_b = pr.ReadString();
-        if (!lang_b.ok()) return lang_b.status();
-        auto result = match::DecodePipelineResult(&pr);
-        if (!result.ok()) {
-          return result.status().WithContext("snapshot pipeline section " +
-                                             *lang_a + ":" + *lang_b);
-        }
-        snapshot.pipelines.emplace(
-            LanguagePair(std::move(lang_a).ValueOrDie(),
-                         std::move(lang_b).ValueOrDie()),
-            std::move(result).ValueOrDie());
-        break;
-      }
-      case SectionKind::kMeta: {
-        SnapshotMeta meta;
-        auto gen = pr.ReadU64();
-        if (!gen.ok()) {
-          return gen.status().WithContext("snapshot meta section");
-        }
-        meta.generation = gen.ValueOrDie();
-        auto count = pr.ReadU64();
-        if (!count.ok()) {
-          return count.status().WithContext("snapshot meta section");
-        }
-        for (uint64_t i = 0; i < count.ValueOrDie(); ++i) {
-          DeltaRecord rec;
-          uint64_t* fields[] = {&rec.generation,     &rec.articles_added,
-                                &rec.articles_updated, &rec.articles_removed,
-                                &rec.units_reused,   &rec.units_recomputed};
-          for (uint64_t* field : fields) {
-            auto v = pr.ReadU64();
-            if (!v.ok()) {
-              return v.status().WithContext("snapshot meta section");
-            }
-            *field = v.ValueOrDie();
-          }
-          meta.history.push_back(rec);
-        }
-        // Options fingerprint: optional trailing fields. Files from
-        // writers that predate it simply end here (flag read fails on
-        // exhausted payload → absent); a zero flag byte also means absent.
-        if (auto flag = pr.ReadU8(); flag.ok() && flag.ValueOrDie() == 1) {
-          OptionsFingerprint fp;
-          auto rd = [&pr](double* out) {
-            auto v = pr.ReadDouble();
-            if (!v.ok()) return v.status();
-            *out = v.ValueOrDie();
-            return util::Status::OK();
-          };
-          auto ru = [&pr](uint64_t* out) {
-            auto v = pr.ReadU64();
-            if (!v.ok()) return v.status();
-            *out = v.ValueOrDie();
-            return util::Status::OK();
-          };
-          auto rb = [&pr](bool* out) {
-            auto v = pr.ReadU8();
-            if (!v.ok()) return v.status();
-            *out = v.ValueOrDie() != 0;
-            return util::Status::OK();
-          };
-          util::Status st = util::Status::OK();
-          if (st.ok()) st = rd(&fp.t_sim);
-          if (st.ok()) st = rd(&fp.t_lsi);
-          if (st.ok()) st = rd(&fp.t_inductive);
-          if (st.ok()) st = rd(&fp.t_revise_min_sim);
-          if (st.ok()) st = rd(&fp.min_link_support);
-          if (st.ok()) st = ru(&fp.lsi_rank);
-          if (st.ok()) st = rd(&fp.lsi_co_occur_tolerance);
-          if (st.ok()) st = rb(&fp.use_vsim);
-          if (st.ok()) st = rb(&fp.use_lsim);
-          if (st.ok()) st = rb(&fp.use_lsi);
-          if (st.ok()) st = rb(&fp.use_integrate_constraint);
-          if (st.ok()) st = rb(&fp.use_revise_uncertain);
-          if (st.ok()) st = rb(&fp.use_inductive_grouping);
-          if (st.ok()) st = rb(&fp.random_order);
-          if (st.ok()) st = rb(&fp.single_step);
-          if (st.ok()) st = ru(&fp.random_seed);
-          if (st.ok()) st = rb(&fp.keep_all_pairs);
-          if (st.ok()) st = rb(&fp.translate_values);
-          if (st.ok()) st = ru(&fp.schema_min_occurrences);
-          if (st.ok()) st = ru(&fp.schema_max_sample_infoboxes);
-          if (st.ok()) st = ru(&fp.type_min_votes);
-          if (st.ok()) st = rd(&fp.type_min_confidence);
-          if (!st.ok()) {
-            return st.WithContext("snapshot meta options fingerprint");
-          }
-          meta.options = fp;
-        }
-        // Any further trailing bytes (fields appended by a newer writer)
-        // are ignored.
-        snapshot.meta = std::move(meta);
-        break;
-      }
-      case SectionKind::kSyncReport: {
-        auto report = sync::DecodeSyncReport(payload);
-        if (!report.ok()) {
-          return report.status().WithContext("snapshot sync report section");
-        }
-        snapshot.sync_report = std::move(report).ValueOrDie();
-        break;
-      }
-      default:
-        // Unknown kind within a supported version: additive section from a
-        // newer writer — skip it.
-        break;
-    }
+    SectionKind k = static_cast<SectionKind>(kind);
+    util::Status st = DecodeSnapshotSection(k, payload, &snapshot);
+    if (!st.ok()) return st;
+    if (k == SectionKind::kCorpus) have_corpus = true;
+    if (k == SectionKind::kDictionary) have_dictionary = true;
   }
   if (!have_corpus || !have_dictionary) {
     return util::Status::ParseError("snapshot " + path +

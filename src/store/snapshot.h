@@ -14,13 +14,29 @@
 // begins with lang_a, lang_b; repeats once per pair), 4 = meta (snapshot
 // generation number plus the delta-manifest history appended by
 // `wikimatch apply-delta`), 5 = sync report (the last `wikimatch sync`
-// result, docs/SYNC.md). Unknown kinds within a supported version are
-// skipped, so sections can be added without a version bump — kinds 4 and 5
-// were added that way and old readers ignore them. Readers verify the magic,
-// the
-// version, the section count, and every section's CRC-32, and fail with a
-// descriptive util::Status on truncated, corrupt, or version-mismatched
-// input — never undefined behavior.
+// result, docs/SYNC.md), 6 = directory (offsets/sizes/CRCs of every
+// content section, for the mmap reader), 7 = pad (zero bytes that 8-align
+// the directory payload). Unknown kinds within a supported version are
+// skipped, so sections can be added without a version bump — kinds 4-7
+// were added that way and old readers ignore them. Readers verify the
+// magic, the version, the section count, and every section's CRC-32, and
+// fail with a descriptive util::Status on truncated, corrupt, or
+// version-mismatched input — never undefined behavior.
+//
+// Mmap layout (additive; see src/store/snapshot_reader.h): after the last
+// content section the writer appends a pad section (kind 7) sized so the
+// directory payload starts 8-byte-aligned, the directory section (kind 6),
+// and a fixed 16-byte footer *outside* the counted sections:
+//
+//   footer   directory_header_offset u64 | crc32(of those 8 bytes) u32 |
+//            footer magic u32 ("WMSF")
+//
+// The streaming reader loops exactly section_count sections and ignores
+// trailing bytes, so the footer is invisible to it; pad and directory ride
+// the unknown-kind skip path of old readers. MappedSnapshot finds the
+// directory through the footer in O(1) and validates content-section CRCs
+// lazily, on first touch. Files without a valid footer (older writers, or
+// legacy_layout below) simply fall back to the parse path.
 
 #ifndef WIKIMATCH_STORE_SNAPSHOT_H_
 #define WIKIMATCH_STORE_SNAPSHOT_H_
@@ -30,6 +46,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -44,6 +61,8 @@ namespace store {
 
 inline constexpr uint32_t kSnapshotMagic = 0x4E534D57u;  // "WMSN" on disk
 inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotFooterMagic = 0x46534D57u;  // "WMSF"
+inline constexpr size_t kSnapshotFooterSize = 16;
 
 /// \brief Section kinds of the snapshot container.
 enum class SectionKind : uint32_t {
@@ -52,6 +71,8 @@ enum class SectionKind : uint32_t {
   kPipeline = 3,
   kMeta = 4,
   kSyncReport = 5,
+  kDirectory = 6,
+  kPad = 7,
 };
 
 /// \brief A language pair, source first ("pt", "en").
@@ -95,6 +116,10 @@ struct OptionsFingerprint {
   bool single_step = false;
   uint64_t random_seed = 0;
   bool keep_all_pairs = false;
+  /// Exact (bit-identical-to-Cosine) similarity join weights vs the opt-in
+  /// fp32-quantized mode — result-affecting, unlike use_indexed_join.
+  /// Trailing field: files from older writers read back as true.
+  bool use_exact_cosine = true;
   // SchemaBuilderOptions.
   bool translate_values = true;
   uint64_t schema_min_occurrences = 0;
@@ -157,7 +182,11 @@ struct Snapshot {
 class SnapshotWriter {
  public:
   /// \brief Opens `path` for writing and emits a provisional header.
-  static util::Result<SnapshotWriter> Open(const std::string& path);
+  /// `legacy_layout` suppresses the pad/directory sections and the footer,
+  /// reproducing pre-directory writers byte for byte (compatibility tests;
+  /// the streaming reader accepts both layouts identically).
+  static util::Result<SnapshotWriter> Open(const std::string& path,
+                                           bool legacy_layout = false);
 
   SnapshotWriter(SnapshotWriter&& other) noexcept;
   SnapshotWriter& operator=(SnapshotWriter&& other) noexcept;
@@ -173,21 +202,44 @@ class SnapshotWriter {
   util::Status WriteMeta(const SnapshotMeta& meta);
   util::Status WriteSyncReport(const sync::SyncReport& report);
 
-  /// \brief Patches the section count into the header and closes the file.
+  /// \brief Appends the pad + directory sections and the footer (unless
+  /// legacy_layout), patches the section count into the header, and closes
+  /// the file.
   util::Status Finish();
 
  private:
-  explicit SnapshotWriter(std::FILE* file) : file_(file) {}
+  /// Directory bookkeeping for one written content section.
+  struct SectionInfo {
+    uint32_t kind = 0;
+    uint64_t header_offset = 0;
+    uint64_t payload_size = 0;
+    uint32_t crc = 0;
+  };
+
+  explicit SnapshotWriter(std::FILE* file, bool legacy_layout)
+      : file_(file), legacy_layout_(legacy_layout) {}
 
   util::Status WriteSection(SectionKind kind, const std::string& payload);
 
   std::FILE* file_ = nullptr;
+  bool legacy_layout_ = false;
   uint32_t section_count_ = 0;
+  std::vector<SectionInfo> sections_;
 };
 
-/// \brief Writes a complete in-memory snapshot to `path`.
+/// \brief Writes a complete in-memory snapshot to `path`. `legacy_layout`
+/// reproduces the pre-directory file format (see SnapshotWriter::Open).
 util::Status WriteSnapshotFile(const Snapshot& snapshot,
-                               const std::string& path);
+                               const std::string& path,
+                               bool legacy_layout = false);
+
+/// \brief Decodes one content section's payload into `snapshot` — the
+/// shared body of the streaming reader and MappedSnapshot::Decode.
+/// Unknown kinds (including pad and directory) are ignored. The payload
+/// must already be CRC-verified.
+util::Status DecodeSnapshotSection(SectionKind kind,
+                                   std::string_view payload,
+                                   Snapshot* snapshot);
 
 /// \brief Reads and validates a snapshot file.
 ///

@@ -1,0 +1,103 @@
+// Memory-mapped snapshot access for O(1) serve startup.
+//
+// MappedSnapshot::Map mmaps a snapshot file and validates only the fixed
+// header and the trailing footer + section directory (a few hundred bytes
+// regardless of snapshot size) — it never reads the content sections, so
+// mapping a multi-gigabyte snapshot costs the same as mapping a tiny one.
+// Content-section CRCs are validated *lazily*: the first Payload() touch of
+// a section checks its CRC-32 and caches the verdict (sticky both ways), so
+// corruption is still always detected before any decoded byte is trusted,
+// just not before the process starts answering health checks.
+//
+// Files without a valid footer — written by pre-directory builds or with
+// SnapshotWriter's legacy_layout — make Map() return NotFound, the caller's
+// cue to fall back to the streaming parse path (ReadSnapshotFile), which
+// reads both layouts identically. Truncated or corrupt *new* files also
+// fail toward that fallback: the parse path owns the descriptive errors.
+//
+// Lifetime: the mapping holds the pages, not the directory entry — a
+// snapshot file may be replaced or unlinked while mapped and every
+// outstanding string_view stays valid until the MappedSnapshot is
+// destroyed. The serving layer pins one shared_ptr<MappedSnapshot> per
+// generation for exactly this reason (docs/SERVING.md).
+
+#ifndef WIKIMATCH_STORE_SNAPSHOT_READER_H_
+#define WIKIMATCH_STORE_SNAPSHOT_READER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/snapshot.h"
+#include "util/result.h"
+
+namespace wikimatch {
+namespace store {
+
+/// \brief A snapshot file mapped read-only into the address space.
+class MappedSnapshot {
+ public:
+  /// \brief Maps `path` and validates header, footer, and directory.
+  /// NotFound: no usable directory footer (legacy layout / older writer /
+  /// truncation) — fall back to ReadSnapshotFile. IoError: the file cannot
+  /// be opened or mapped at all.
+  static util::Result<std::shared_ptr<MappedSnapshot>> Map(
+      const std::string& path);
+
+  ~MappedSnapshot();
+
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  /// \brief Content sections listed in the directory (pad and the
+  /// directory itself are not included).
+  size_t num_sections() const { return entries_.size(); }
+
+  SectionKind section_kind(size_t idx) const {
+    return static_cast<SectionKind>(entries_[idx].kind);
+  }
+
+  /// \brief The section's payload bytes, in place in the mapping. The
+  /// first touch of a section CRC-validates it; the verdict is cached and
+  /// sticky (a corrupt section stays an error on every later touch).
+  /// Thread-safe; concurrent first touches may both compute the CRC.
+  util::Result<std::string_view> Payload(size_t idx) const;
+
+  /// \brief Payload of the first section of `kind`; NotFound when the
+  /// snapshot has no such section.
+  util::Result<std::string_view> PayloadOfKind(SectionKind kind) const;
+
+  /// \brief Decodes every content section into an in-memory Snapshot —
+  /// the mmap-backed equivalent of ReadSnapshotFile, validating each
+  /// section's CRC as it is touched.
+  util::Result<Snapshot> Decode() const;
+
+  const std::string& path() const { return path_; }
+  uint64_t file_size() const { return size_; }
+
+ private:
+  struct Entry {
+    uint32_t kind = 0;
+    uint64_t payload_offset = 0;
+    uint64_t payload_size = 0;
+    uint32_t crc = 0;
+  };
+
+  MappedSnapshot() = default;
+
+  std::string path_;
+  const unsigned char* base_ = nullptr;
+  uint64_t size_ = 0;
+  std::vector<Entry> entries_;
+  // Lazy per-section CRC state: 0 = unchecked, 1 = verified, 2 = corrupt.
+  // unique_ptr<atomic[]> because vector<atomic> is not movable.
+  std::unique_ptr<std::atomic<uint8_t>[]> crc_state_;
+};
+
+}  // namespace store
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_STORE_SNAPSHOT_READER_H_

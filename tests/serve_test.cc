@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -239,6 +240,121 @@ TEST(ServeTest, ConcurrentHandleIsSafeAndConsistent) {
   EXPECT_EQ(mismatches.load(), 0);
   ServiceStats stats = (*service)->Stats();
   EXPECT_EQ(stats.requests, 4u + 8u * 50u);
+}
+
+// ------------------------------------------------------------ mmap startup
+
+std::string PerPidTempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "." + name;
+}
+
+void CopyFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+}
+
+// Writes the fixture snapshot in the pre-directory layout (no footer),
+// exactly as an older build would have produced it.
+std::string WriteLegacySnapshot(const std::string& name) {
+  const Fixture& f = GetFixture();
+  store::Snapshot snapshot;
+  snapshot.corpus = f.gc.corpus;
+  snapshot.dictionary = f.dictionary;
+  snapshot.pipelines.emplace(store::LanguagePair("pt", "en"), f.result);
+  std::string path = PerPidTempPath(name);
+  auto status =
+      store::WriteSnapshotFile(snapshot, path, /*legacy_layout=*/true);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return path;
+}
+
+TEST(ServeTest, MmapLoadDefersTheCoreUntilFirstDataRequest) {
+  auto service = MatchService::Load(GetFixture().snapshot_path);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_FALSE((*service)->CoreLoaded());
+  EXPECT_EQ((*service)->CorpusSize(), 0u);  // documented: 0 while deferred
+  // Meta verbs (and unknown-verb errors) answer without forcing a decode.
+  EXPECT_EQ((*service)->Handle("health").compare(0, 3, "ok "), 0);
+  EXPECT_EQ((*service)->Handle("version").compare(0, 3, "ok "), 0);
+  EXPECT_EQ((*service)->Handle("generation").compare(0, 3, "ok "), 0);
+  (*service)->Handle("bogus request");
+  EXPECT_FALSE((*service)->CoreLoaded());
+  // The first data request materializes the core, exactly once.
+  std::string types = (*service)->Handle("types pt:en");
+  EXPECT_EQ(types.compare(0, 3, "ok "), 0) << types;
+  EXPECT_TRUE((*service)->CoreLoaded());
+  EXPECT_GT((*service)->CorpusSize(), 0u);
+}
+
+TEST(ServeTest, MmapAndLegacyParsedServicesAnswerIdentically) {
+  std::string legacy = WriteLegacySnapshot("legacy_compare.snap");
+  auto lazy_service = MatchService::Load(GetFixture().snapshot_path);
+  auto parsed_service = MatchService::Load(legacy);
+  ASSERT_TRUE(lazy_service.ok()) << lazy_service.status().ToString();
+  ASSERT_TRUE(parsed_service.ok()) << parsed_service.status().ToString();
+  EXPECT_FALSE((*lazy_service)->CoreLoaded());
+  EXPECT_TRUE((*parsed_service)->CoreLoaded());  // legacy parses eagerly
+  const std::vector<std::string> requests = {
+      "pairs",
+      "types pt:en",
+      "alignments pt:en film",
+      "attr pt:en film en starring",
+      std::string("query pt:en ") + kQuery,
+      "sync-status",
+  };
+  for (const auto& request : requests) {
+    EXPECT_EQ((*lazy_service)->Handle(request),
+              (*parsed_service)->Handle(request))
+        << request;
+  }
+  std::remove(legacy.c_str());
+}
+
+TEST(ServeTest, UnlinkedSnapshotStillAnswersItsFirstRequest) {
+  // A private copy so this test can delete its own file.
+  std::string path = PerPidTempPath("unlink_serve.snap");
+  CopyFile(GetFixture().snapshot_path, path);
+  auto service = MatchService::Load(path);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_FALSE((*service)->CoreLoaded());
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  // The generation pins the mapping, and the mapping holds the pages: the
+  // deferred decode still sees every byte of the unlinked file.
+  std::string response = (*service)->Handle("alignments pt:en film");
+  EXPECT_EQ(response.compare(0, 3, "ok "), 0) << response;
+  EXPECT_TRUE((*service)->CoreLoaded());
+}
+
+TEST(ServeTest, LazyDecodeFailureIsStickyUntilReloadReplacesIt) {
+  // Corrupt one corpus payload byte but leave the directory intact: the
+  // O(1) Load() cannot see the damage, so it must surface at the first
+  // core-needing request, stick, and clear when a good file is reloaded.
+  std::string path = PerPidTempPath("corrupt_serve.snap");
+  {
+    std::ifstream in(GetFixture().snapshot_path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 34u);
+    bytes[33] = static_cast<char>(bytes[33] ^ 0x5A);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto service = MatchService::Load(path);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ((*service)->Handle("health").compare(0, 3, "ok "), 0);
+  std::string first = (*service)->Handle("pairs");
+  EXPECT_EQ(first.compare(0, 3, "err"), 0) << first;
+  EXPECT_NE(first.find("CRC"), std::string::npos) << first;
+  EXPECT_EQ((*service)->Handle("pairs"), first);  // sticky
+  EXPECT_FALSE((*service)->CoreLoaded());
+  // Repair the file and hot-swap it in; the sticky error must clear.
+  CopyFile(GetFixture().snapshot_path, path);
+  std::string reloaded = (*service)->Handle("reload");
+  EXPECT_EQ(reloaded.compare(0, 3, "ok "), 0) << reloaded;
+  EXPECT_TRUE((*service)->CoreLoaded());
+  EXPECT_EQ((*service)->Handle("pairs").compare(0, 3, "ok "), 0);
+  std::remove(path.c_str());
 }
 
 // -------------------------------------------------------------- hot reload

@@ -40,7 +40,8 @@ from pathlib import Path
 HEADLINES = {
     "BENCH_align.json": {"indexed_ms": False, "speedup": True,
                          "indexed_mt_ms": False, "mt_speedup": True},
-    "BENCH_serve.json": {"requests_per_sec": True},
+    "BENCH_serve.json": {"requests_per_sec": True,
+                         "snapshot_load_ms": False},
     "BENCH_ingest.json": {"delta_apply_ms": False, "speedup": True,
                           "apply_align_ms": False},
     "BENCH_serve_net.json": {"requests_per_sec": True, "p99_ms": False},
