@@ -23,7 +23,7 @@
 
 #include "ingest/delta.h"
 #include "match/dictionary.h"
-#include "sync/oracle.h"
+#include "synth/sync_oracle.h"
 #include "sync/sync_engine.h"
 #include "synth/delta.h"
 #include "synth/generator.h"
@@ -71,7 +71,7 @@ int Run(bool smoke) {
   // Ground-truth scopes keep the bench about the sync engine, not the
   // matcher upstream of it; alignment pointers borrow from gc.
   std::vector<sync::SyncScope> scopes =
-      sync::SyncOracle::ScopesFromGroundTruth(*gc);
+      synth::SyncOracle::ScopesFromGroundTruth(*gc);
 
   // ---- baseline: full pass over the base corpus ----
   auto full_start = Clock::now();

@@ -1,0 +1,351 @@
+#include "analysis/lexer.h"
+
+#include <cctype>
+
+namespace wikimatch {
+namespace analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// String-literal prefixes whose identifier token should fold into the
+// literal instead of being emitted (L"x", u8"x", R"(x)", u8R"(x)", ...).
+bool IsStringPrefix(const std::string& id) {
+  return id == "L" || id == "u" || id == "U" || id == "u8" || id == "R" ||
+         id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+bool IsRawPrefix(const std::string& id) {
+  return !id.empty() && id.back() == 'R';
+}
+
+// Parses NOLINT markers out of one comment chunk and registers them on
+// `line`. Bare NOLINT (no parenthesized list) silences every rule, encoded
+// as the empty set; a bare marker overrides any rule list on the same line.
+void RegisterNolint(const std::string& comment, int line,
+                    std::map<int, std::set<std::string>>* nolint) {
+  size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + 6;
+    if (after < comment.size() && comment[after] == '(') {
+      size_t close = comment.find(')', after);
+      std::string list = close == std::string::npos
+                             ? comment.substr(after + 1)
+                             : comment.substr(after + 1, close - after - 1);
+      auto it = nolint->find(line);
+      if (it == nolint->end() || !it->second.empty()) {  // a bare marker wins
+        std::set<std::string>& rules = (*nolint)[line];
+        std::string cur;
+        for (char c : list + ",") {
+          if (c == ',') {
+            if (!cur.empty()) rules.insert(cur);
+            cur.clear();
+          } else if (c != ' ' && c != '\t') {
+            cur += c;
+          }
+        }
+      }
+      pos = close == std::string::npos ? comment.size() : close;
+    } else {
+      (*nolint)[line].clear();  // bare NOLINT: silence all rules
+      pos = after;
+    }
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content) : src_(content) {
+    std::string cur;
+    for (char c : src_) {
+      if (c == '\n') {
+        out_.raw_lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    out_.raw_lines.push_back(cur);
+    out_.clean_lines = out_.raw_lines;
+  }
+
+  LexedSource Run() {
+    while (!AtEnd()) {
+      char c = Cur();
+      if (c == '\n') {
+        if (in_directive_ && !LineEndsWithBackslash()) in_directive_ = false;
+        line_has_code_ = false;
+        Advance();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek() == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek() == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && !line_has_code_ && !in_directive_) {
+        LexDirective();
+        continue;
+      }
+      line_has_code_ = true;
+      if (c == '"') {
+        LexString(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifier();
+        continue;
+      }
+      if (IsDigit(c)) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Cur() const { return src_[pos_]; }
+  char Peek(size_t n = 1) const {
+    return pos_ + n < src_.size() ? src_[pos_ + n] : '\0';
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 0;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  // Blanks the current character in the clean view (comments and literal
+  // contents must not be visible to substring scans).
+  void BlankAndAdvance() {
+    if (Cur() != '\n' && line_ - 1 < out_.clean_lines.size() &&
+        col_ < out_.clean_lines[line_ - 1].size()) {
+      out_.clean_lines[line_ - 1][col_] = ' ';
+    }
+    Advance();
+  }
+
+  bool LineEndsWithBackslash() const {
+    // Called when Cur() == '\n': directive continues if the last
+    // non-carriage-return char before the newline is a backslash.
+    size_t i = pos_;
+    while (i > 0 && src_[i - 1] == '\r') --i;
+    return i > 0 && src_[i - 1] == '\\';
+  }
+
+  void Emit(TokenKind kind, std::string text, int line) {
+    if (in_directive_) return;  // directives contribute no tokens
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void LexLineComment() {
+    int start_line = static_cast<int>(line_);
+    std::string text;
+    while (!AtEnd() && Cur() != '\n') {
+      text += Cur();
+      BlankAndAdvance();
+    }
+    RegisterNolint(text, start_line, &out_.nolint);
+  }
+
+  void LexBlockComment() {
+    BlankAndAdvance();  // '/'
+    BlankAndAdvance();  // '*'
+    std::string chunk;
+    int chunk_line = static_cast<int>(line_);
+    while (!AtEnd()) {
+      if (Cur() == '*' && Peek() == '/') {
+        BlankAndAdvance();
+        BlankAndAdvance();
+        break;
+      }
+      if (Cur() == '\n') {
+        RegisterNolint(chunk, chunk_line, &out_.nolint);
+        chunk.clear();
+        Advance();
+        chunk_line = static_cast<int>(line_);
+        continue;
+      }
+      chunk += Cur();
+      BlankAndAdvance();
+    }
+    RegisterNolint(chunk, chunk_line, &out_.nolint);
+  }
+
+  void LexDirective() {
+    in_directive_ = true;
+    line_has_code_ = true;
+    Advance();  // '#'
+    while (!AtEnd() && (Cur() == ' ' || Cur() == '\t')) Advance();
+    std::string word;
+    while (!AtEnd() && IsIdentChar(Cur())) {
+      word += Cur();
+      Advance();
+    }
+    if (word != "include") return;  // body consumed by the main loop
+    while (!AtEnd() && (Cur() == ' ' || Cur() == '\t')) Advance();
+    if (AtEnd()) return;
+    Include inc;
+    inc.line = static_cast<int>(line_);
+    char open = Cur();
+    char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return;  // macro-computed include: ignore
+    inc.angled = open == '<';
+    Advance();
+    while (!AtEnd() && Cur() != close && Cur() != '\n') {
+      inc.path += Cur();
+      Advance();
+    }
+    if (!AtEnd() && Cur() == close) Advance();
+    out_.includes.push_back(std::move(inc));
+  }
+
+  void LexString(bool raw) {
+    int start_line = static_cast<int>(line_);
+    Advance();  // opening quote (kept in the clean view)
+    if (raw) {
+      std::string delim;
+      while (!AtEnd() && Cur() != '(') {
+        delim += Cur();
+        BlankAndAdvance();
+      }
+      if (!AtEnd()) BlankAndAdvance();  // '('
+      const std::string closer = ")" + delim;
+      while (!AtEnd()) {
+        if (Cur() == '"' && pos_ >= closer.size() &&
+            src_.substr(pos_ - closer.size(), closer.size()) == closer) {
+          Advance();  // closing quote
+          break;
+        }
+        BlankAndAdvance();
+      }
+    } else {
+      ConsumeQuotedBody('"');
+    }
+    Emit(TokenKind::kString, "", start_line);
+  }
+
+  void LexCharLiteral() {
+    int start_line = static_cast<int>(line_);
+    Advance();  // opening quote
+    ConsumeQuotedBody('\'');
+    Emit(TokenKind::kChar, "", start_line);
+  }
+
+  // Consumes a non-raw literal body up to (and including) the closing
+  // quote, honoring backslash escapes; gives up at end of line so an
+  // unterminated literal cannot swallow the rest of the file.
+  void ConsumeQuotedBody(char quote) {
+    while (!AtEnd() && Cur() != '\n') {
+      if (Cur() == quote) {
+        Advance();
+        return;
+      }
+      if (Cur() == '\\') {
+        BlankAndAdvance();  // backslash
+        if (!AtEnd() && Cur() != '\n') BlankAndAdvance();  // escaped char
+      } else {
+        BlankAndAdvance();
+      }
+    }
+  }
+
+  void LexIdentifier() {
+    int start_line = static_cast<int>(line_);
+    std::string id;
+    while (!AtEnd() && IsIdentChar(Cur())) {
+      id += Cur();
+      Advance();
+    }
+    if (!AtEnd() && Cur() == '"' && IsStringPrefix(id)) {
+      LexString(IsRawPrefix(id));
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(id), start_line);
+  }
+
+  void LexNumber() {
+    int start_line = static_cast<int>(line_);
+    std::string num;
+    while (!AtEnd()) {
+      char c = Cur();
+      if (IsIdentChar(c) || c == '.') {
+        num += c;
+        Advance();
+        // exponent signs keep the pp-number going: 1e-5, 0x1p+3
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && !AtEnd() &&
+            (Cur() == '+' || Cur() == '-') && num.size() > 1) {
+          num += Cur();
+          Advance();
+        }
+      } else if (c == '\'' && IsIdentChar(Peek())) {
+        Advance();  // digit separator: 1'000'000
+      } else {
+        break;
+      }
+    }
+    Emit(TokenKind::kNumber, std::move(num), start_line);
+  }
+
+  void LexPunct() {
+    int start_line = static_cast<int>(line_);
+    char c = Cur();
+    if ((c == ':' && Peek() == ':') || (c == '-' && Peek() == '>')) {
+      std::string two{c, Peek()};
+      Advance();
+      Advance();
+      Emit(TokenKind::kPunct, std::move(two), start_line);
+      return;
+    }
+    Advance();
+    Emit(TokenKind::kPunct, std::string(1, c), start_line);
+  }
+
+  std::string_view src_;
+  LexedSource out_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 0;
+  bool line_has_code_ = false;
+  bool in_directive_ = false;
+};
+
+}  // namespace
+
+bool LexedSource::Silenced(int line, const std::string& rule) const {
+  auto it = nolint.find(line);
+  if (it == nolint.end()) return false;
+  return it->second.empty() || it->second.count(rule) > 0;
+}
+
+LexedSource Lex(std::string_view content) { return Lexer(content).Run(); }
+
+}  // namespace analysis
+}  // namespace wikimatch

@@ -1,0 +1,70 @@
+// Comment- and string-aware C++ lexer for wikimatch-lint.
+//
+// The analyzer's rules work on a token stream instead of raw lines, so a
+// `std::mutex` split across lines, a `new` inside a block comment, or a
+// NOLINT marker in a trailing comment are all handled exactly — the false
+// positive/negative classes the old regex lint (tools/lint.sh) could not
+// close. This is not a full C++ lexer: it only separates code from
+// comments, string/char literals (including raw strings), and preprocessor
+// directives, which is all the rules need.
+
+#ifndef WIKIMATCH_ANALYSIS_LEXER_H_
+#define WIKIMATCH_ANALYSIS_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wikimatch {
+namespace analysis {
+
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< numeric literal (coarse: pp-number)
+  kString,      ///< string literal, contents dropped
+  kChar,        ///< character literal, contents dropped
+  kPunct,       ///< operator/punctuator; `::` and `->` kept multi-char
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< identifier/number/punct spelling; literals: ""
+  int line = 0;      ///< 1-based source line of the token's first char
+};
+
+/// \brief One `#include` directive.
+struct Include {
+  int line = 0;
+  std::string path;  ///< target as written, without the delimiters
+  bool angled = false;
+};
+
+/// \brief Lexed view of one translation unit.
+struct LexedSource {
+  std::vector<std::string> raw_lines;
+  /// Raw lines with comment text and literal contents blanked to spaces
+  /// (delimiters kept), so substring scans cannot match inside either.
+  std::vector<std::string> clean_lines;
+  /// All tokens outside comments, literals kept as empty-content tokens.
+  /// Preprocessor directives contribute no tokens (see `includes`).
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  /// line -> rule names silenced by `// NOLINT(rule,...)`; an empty set
+  /// means a bare NOLINT silencing every rule on that line. Block comments
+  /// register on the line the comment starts.
+  std::map<int, std::set<std::string>> nolint;
+
+  /// \brief True if `rule` is silenced on `line`.
+  bool Silenced(int line, const std::string& rule) const;
+};
+
+/// \brief Lexes `content`; never fails (unterminated constructs are closed
+/// at end of input).
+LexedSource Lex(std::string_view content);
+
+}  // namespace analysis
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_ANALYSIS_LEXER_H_

@@ -1,0 +1,74 @@
+// wikimatch-lint rule catalog (docs/ANALYSIS.md has the narrative form).
+//
+// Token-level reimplementations of the five legacy tools/lint.sh rules —
+// without the regex false-negative classes (multi-line declarations,
+// `std :: mutex` spacing, `condition_variable_any`, same-line unbraced
+// control bodies) — plus three rules a regex cannot express at all:
+//
+//   layering         every cross-module include must be an edge of the
+//                    declared module DAG (LayeringDag()); the DAG itself
+//                    is checked acyclic.
+//   include-cycle    the file-level include graph must be a DAG (header
+//                    guards make cycles compile; they are still banned).
+//   unordered-iter   no range-for / begin() iteration over
+//                    std::unordered_map|set — hash-order feeding output
+//                    breaks the byte-identical contract. Sites whose
+//                    order provably cannot reach output carry
+//                    NOLINT(unordered-iter) with a reason.
+//
+// Every rule honors `// NOLINT` / `// NOLINT(rule-name)` on the line.
+
+#ifndef WIKIMATCH_ANALYSIS_RULES_H_
+#define WIKIMATCH_ANALYSIS_RULES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source_tree.h"
+
+namespace wikimatch {
+namespace analysis {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+  bool operator==(const Diagnostic& o) const {
+    return file == o.file && line == o.line && rule == o.rule &&
+           message == o.message;
+  }
+};
+
+/// \brief All rule names, in catalog order.
+const std::vector<std::string>& RuleNames();
+
+/// \brief The declared module-layering DAG: module -> modules it may
+/// include. A module absent from this map may not be included at all and
+/// flags its own files (add new modules here deliberately).
+const std::map<std::string, std::set<std::string>>& LayeringDag();
+
+/// \brief Runs one rule by name over the tree; unknown names return an
+/// internal diagnostic rather than silently passing.
+std::vector<Diagnostic> RunRule(const SourceTree& tree,
+                                const std::string& rule);
+
+/// \brief Runs the full catalog; diagnostics come back sorted.
+std::vector<Diagnostic> RunAllRules(const SourceTree& tree);
+
+/// \brief `file:line: [rule] message` lines, one per diagnostic.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags);
+
+}  // namespace analysis
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_ANALYSIS_RULES_H_

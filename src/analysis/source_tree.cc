@@ -1,0 +1,63 @@
+#include "analysis/source_tree.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace wikimatch {
+namespace analysis {
+
+namespace fs = std::filesystem;
+
+std::string ModuleOf(const std::string& path) {
+  constexpr std::string_view kPrefix = "src/";
+  if (path.rfind(kPrefix, 0) != 0) return "";
+  size_t slash = path.find('/', kPrefix.size());
+  if (slash == std::string::npos) return "";  // file directly under src/
+  return path.substr(kPrefix.size(), slash - kPrefix.size());
+}
+
+void SourceTree::AddFile(std::string path, std::string_view content) {
+  SourceFile file;
+  file.path = path;
+  file.module = ModuleOf(path);
+  file.lex = Lex(content);
+  files_[std::move(path)] = std::move(file);
+}
+
+util::Status SourceTree::LoadFromDisk(const std::string& root) {
+  fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    return util::Status::InvalidArgument("no src/ directory under " + root);
+  }
+  std::vector<fs::path> paths;
+  for (fs::recursive_directory_iterator it(src, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) return util::Status::Internal("walking " + src.string() + ": " +
+                                          ec.message());
+    if (!it->is_regular_file()) continue;
+    std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") paths.push_back(it->path());
+  }
+  // Directory iteration order is filesystem-dependent; sort so diagnostics
+  // and include-cycle walks are identical on every box.
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return util::Status::IoError("cannot read " + p.string());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    AddFile(fs::relative(p, root).generic_string(), buf.str());
+  }
+  return util::Status::OK();
+}
+
+const SourceFile* SourceTree::Resolve(const std::string& include_path) const {
+  auto it = files_.find("src/" + include_path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+}  // namespace analysis
+}  // namespace wikimatch

@@ -1,0 +1,55 @@
+// In-memory model of the source tree for wikimatch-lint: every .h/.cc
+// under src/ lexed (analysis/lexer.h), tagged with its module (the first
+// directory under src/), and cross-linked through the project include
+// graph. Rules (analysis/rules.h) run over this model; tests build
+// synthetic trees with AddFile, the CLI loads the real one from disk.
+
+#ifndef WIKIMATCH_ANALYSIS_SOURCE_TREE_H_
+#define WIKIMATCH_ANALYSIS_SOURCE_TREE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/lexer.h"
+#include "util/status.h"
+
+namespace wikimatch {
+namespace analysis {
+
+struct SourceFile {
+  std::string path;    ///< repo-relative, '/'-separated: "src/util/mutex.h"
+  std::string module;  ///< "util" for src/util/...; "" outside src/<dir>/
+  LexedSource lex;
+};
+
+/// \brief The analyzed file set, ordered by path (iteration over the tree
+/// is deterministic by construction — the analyzer obeys its own rule).
+class SourceTree {
+ public:
+  /// \brief Adds (or replaces) a file. `path` should be repo-relative.
+  void AddFile(std::string path, std::string_view content);
+
+  /// \brief Loads every *.h / *.cc under `root`/src. `root` is the repo
+  /// checkout; paths are stored relative to it.
+  util::Status LoadFromDisk(const std::string& root);
+
+  const std::map<std::string, SourceFile>& files() const { return files_; }
+
+  /// \brief Resolves a quoted include target ("util/mutex.h") to the tree
+  /// file it names, or nullptr for system/external headers.
+  const SourceFile* Resolve(const std::string& include_path) const;
+
+ private:
+  std::map<std::string, SourceFile> files_;
+};
+
+/// \brief Module of a repo-relative path: "src/util/mutex.h" -> "util";
+/// returns "" for paths not of the form src/<module>/...
+std::string ModuleOf(const std::string& path);
+
+}  // namespace analysis
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_ANALYSIS_SOURCE_TREE_H_

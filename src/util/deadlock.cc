@@ -1,0 +1,163 @@
+#include "util/deadlock.h"
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace wikimatch {
+namespace util {
+
+namespace {
+
+constexpr int kMaxFrames = 48;
+
+std::vector<void*> CaptureStack() {
+  void* frames[kMaxFrames];
+  int n = ::backtrace(frames, kMaxFrames);
+  return std::vector<void*>(frames, frames + (n > 0 ? n : 0));
+}
+
+std::string Symbolize(const std::vector<void*>& stack) {
+  if (stack.empty()) return "    <no frames captured>\n";
+  char** symbols =
+      ::backtrace_symbols(stack.data(), static_cast<int>(stack.size()));
+  std::ostringstream out;
+  for (size_t i = 0; i < stack.size(); ++i) {
+    out << "    #" << i << " "
+        << (symbols != nullptr ? symbols[i] : "<unknown>") << "\n";
+  }
+  std::free(symbols);  // backtrace_symbols hands ownership of one malloc block
+  return out.str();
+}
+
+}  // namespace
+
+std::string LockOrderRegistry::CycleReport::Format() const {
+  std::ostringstream out;
+  out << "wikimatch deadlock detector: lock-order cycle\n";
+  out << "  acquiring mutex " << acquiring << " while holding " << holding
+      << "\n";
+  out << "  existing acquisition order:";
+  for (const void* p : path) out << " " << p << " ->";
+  out << " " << acquiring << " (cycle)\n";
+  out << "  --- this acquisition (" << holding << " then " << acquiring
+      << ") ---\n"
+      << current_stack;
+  out << "  --- prior conflicting acquisition (" << acquiring << " then "
+      << (path.size() > 1 ? path[1] : holding) << ") ---\n"
+      << prior_stack;
+  return out.str();
+}
+
+bool LockOrderRegistry::FindPath(const void* from, const void* to,
+                                 std::vector<const void*>* path) const {
+  path->push_back(from);
+  if (from == to) return true;
+  auto it = edges_.find(from);
+  if (it != edges_.end()) {
+    for (const auto& [next, edge] : it->second) {
+      // Ordered map: the DFS (and thus the reported path) is
+      // deterministic for a given edge set.
+      bool on_path = false;
+      for (const void* seen : *path) {
+        if (seen == next) on_path = true;
+      }
+      if (on_path) continue;
+      if (FindPath(next, to, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+std::optional<LockOrderRegistry::CycleReport> LockOrderRegistry::NoteAcquire(
+    uint64_t tid, const void* mu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const void*>& held = held_[tid];
+  std::vector<void*> stack;  // captured lazily, once, if needed
+  for (const void* h : held) {
+    if (h == mu) continue;  // recursive acquisition: not an order problem
+    auto row = edges_.find(h);
+    if (row != edges_.end() && row->second.count(mu) > 0) continue;
+    // New ordering h -> mu: closing it into a cycle means mu -> ... -> h
+    // already exists.
+    std::vector<const void*> path;
+    if (FindPath(mu, h, &path)) {
+      CycleReport report;
+      report.acquiring = mu;
+      report.holding = h;
+      report.path = path;
+      report.current_stack = Symbolize(CaptureStack());
+      const Edge& prior =
+          edges_[mu].at(path.size() > 1 ? path[1] : path.back());
+      report.prior_stack = Symbolize(prior.stack);
+      return report;
+    }
+    if (stack.empty()) stack = CaptureStack();
+    edges_[h][mu].stack = stack;
+  }
+  held.push_back(mu);
+  return std::nullopt;
+}
+
+void LockOrderRegistry::NoteRelease(uint64_t tid, const void* mu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(tid);
+  if (it == held_.end()) return;
+  std::vector<const void*>& held = it->second;
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1] == mu) {
+      held.erase(held.begin() + static_cast<long>(i - 1));
+      break;
+    }
+  }
+  if (held.empty()) held_.erase(it);
+}
+
+void LockOrderRegistry::Forget(const void* mu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  edges_.erase(mu);
+  for (auto& [from, row] : edges_) row.erase(mu);
+}
+
+size_t LockOrderRegistry::NumEdges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [from, row] : edges_) n += row.size();
+  return n;
+}
+
+LockOrderRegistry& GlobalLockOrderRegistry() {
+  static LockOrderRegistry* registry = new LockOrderRegistry();  // NOLINT(naked-new) — leaked singleton: outlives static destructors of annotated mutexes
+  return *registry;
+}
+
+uint64_t CurrentThreadId() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+void DeadlockOnLock(const void* mu) {
+  auto report = GlobalLockOrderRegistry().NoteAcquire(CurrentThreadId(), mu);
+  if (report.has_value()) {
+    std::string text = report->Format();
+    std::fputs(text.c_str(), stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+void DeadlockOnUnlock(const void* mu) {
+  GlobalLockOrderRegistry().NoteRelease(CurrentThreadId(), mu);
+}
+
+void DeadlockOnDestroy(const void* mu) {
+  GlobalLockOrderRegistry().Forget(mu);
+}
+
+}  // namespace util
+}  // namespace wikimatch

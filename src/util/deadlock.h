@@ -1,0 +1,97 @@
+// Runtime lock-order deadlock detector (docs/ANALYSIS.md).
+//
+// Static analysis proves lock *discipline* (every GUARDED_BY access holds
+// its mutex) but not lock *order* — two code paths each correct in
+// isolation can still acquire the same two mutexes in opposite orders and
+// deadlock only under the right interleaving. The detector closes that
+// gap at runtime: every util::Mutex acquisition feeds a global
+// acquisition-order graph (edge A->B = "some thread acquired B while
+// holding A", with the backtrace of the first such acquisition), checked
+// for cycles BEFORE blocking on the lock. A cycle is a potential deadlock
+// even if this run's interleaving would have survived it; the process
+// reports both acquisition stacks and aborts.
+//
+// Enabled by the WIKIMATCH_DEADLOCK_DEBUG CMake option, which compiles
+// hooks into util::Mutex (src/util/mutex.h); tools/check.sh turns it on
+// for the TSan stage. The engine itself (LockOrderRegistry) is always
+// compiled and unit-testable without the build flag.
+
+#ifndef WIKIMATCH_UTIL_DEADLOCK_H_
+#define WIKIMATCH_UTIL_DEADLOCK_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wikimatch {
+namespace util {
+
+/// \brief Acquisition-order graph + per-thread held-lock stacks. Thread
+/// safe; uses a raw std::mutex internally because it instruments
+/// util::Mutex itself and must not recurse into the hooks.
+class LockOrderRegistry {
+ public:
+  struct CycleReport {
+    const void* acquiring = nullptr;  ///< the lock being acquired
+    const void* holding = nullptr;    ///< the held lock it conflicts with
+    /// Every lock on the existing acquiring->...->holding path.
+    std::vector<const void*> path;
+    std::string current_stack;  ///< this acquisition, symbolized
+    std::string prior_stack;    ///< first acquisition of the path's first
+                                ///< edge (the inverse ordering), symbolized
+
+    /// \brief Human-readable multi-line report with both stacks.
+    std::string Format() const;
+  };
+
+  /// \brief Records that thread `tid` is about to acquire `mu`. Returns a
+  /// report if the new ordering edges would close a cycle (the caller
+  /// decides whether to abort); otherwise records the edges and the held
+  /// stack entry and returns nullopt.
+  std::optional<CycleReport> NoteAcquire(uint64_t tid, const void* mu);
+
+  /// \brief Records that thread `tid` released `mu` (most recent matching
+  /// acquisition; out-of-order release is fine).
+  void NoteRelease(uint64_t tid, const void* mu);
+
+  /// \brief Drops every edge touching `mu` (its storage is being
+  /// destroyed; the address may be reused by an unrelated mutex).
+  void Forget(const void* mu);
+
+  size_t NumEdges() const;
+
+ private:
+  struct Edge {
+    std::vector<void*> stack;  ///< raw backtrace of the first acquisition
+  };
+
+  // True if `to` is reachable from `from` in the edge graph; fills `path`
+  // (from ... to). Caller holds mu_.
+  bool FindPath(const void* from, const void* to,
+                std::vector<const void*>* path) const;
+
+  mutable std::mutex mu_;
+  std::map<const void*, std::map<const void*, Edge>> edges_;
+  std::map<uint64_t, std::vector<const void*>> held_;
+};
+
+/// \brief The process-wide registry behind the util::Mutex hooks.
+LockOrderRegistry& GlobalLockOrderRegistry();
+
+/// \brief Stable id of the calling thread for NoteAcquire/NoteRelease.
+uint64_t CurrentThreadId();
+
+// util::Mutex hooks (compiled in under WIKIMATCH_DEADLOCK_DEBUG). OnLock
+// runs BEFORE blocking on the lock so a genuine deadlock still reports;
+// on a detected cycle it prints both stacks to stderr and aborts.
+void DeadlockOnLock(const void* mu);
+void DeadlockOnUnlock(const void* mu);
+void DeadlockOnDestroy(const void* mu);
+
+}  // namespace util
+}  // namespace wikimatch
+
+#endif  // WIKIMATCH_UTIL_DEADLOCK_H_

@@ -10,7 +10,7 @@
 //
 // Annotate with the project wrappers in util/mutex.h (util::Mutex is the
 // annotated capability, util::MutexLock the scoped acquirer); raw
-// std::mutex outside util/ is rejected by tools/lint.sh precisely because
+// std::mutex outside util/ is rejected by wikimatch-lint precisely because
 // the analysis cannot see through it. Conventions and the sanitizer/lint
 // matrix are documented in docs/ANALYSIS.md.
 

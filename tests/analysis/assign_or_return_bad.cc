@@ -1,0 +1,19 @@
+// @file: src/match/fixture.cc
+#include "util/status.h"
+
+bool Cond();
+util::Result<int> Get();
+
+util::Status F() {
+  // Unbraced control body: the macro expands to multiple statements, so
+  // only the first is governed by the condition. The same-line form was a
+  // false negative of the legacy regex (it only looked one line back).
+  if (Cond()) WIKIMATCH_ASSIGN_OR_RETURN(int a, Get());  // LINT[assign-or-return]
+  if (Cond()) {
+  } else
+    WIKIMATCH_ASSIGN_OR_RETURN(int b, Get());  // LINT[assign-or-return]
+  // Two expansions on one line: the second shadows the first's internal
+  // status variable.
+  WIKIMATCH_ASSIGN_OR_RETURN(int c, Get()); WIKIMATCH_ASSIGN_OR_RETURN(int d, Get());  // LINT[assign-or-return]
+  return util::Status::OK();
+}

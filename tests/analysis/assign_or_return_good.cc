@@ -1,0 +1,14 @@
+// @file: src/match/fixture.cc
+#include "util/status.h"
+
+bool Cond();
+util::Result<int> Get();
+
+util::Status F() {
+  if (Cond()) {
+    WIKIMATCH_ASSIGN_OR_RETURN(int a, Get());
+  }
+  WIKIMATCH_ASSIGN_OR_RETURN(int b, Get());
+  WIKIMATCH_ASSIGN_OR_RETURN(int c, Get());
+  return util::Status::OK();
+}

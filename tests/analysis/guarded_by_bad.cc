@@ -1,0 +1,12 @@
+// @file: src/match/fixture.h
+#include "util/mutex.h"
+
+// No field in this header is annotated WIKIMATCH_GUARDED_BY, so every
+// mutex member flags; `state_lock_` additionally violates the *mu*
+// naming convention.
+class Cache {
+ private:
+  util::Mutex mu_;  // LINT[guarded-by]
+  util::Mutex state_lock_;  // LINT[guarded-by]
+  int hits_ = 0;
+};

@@ -1,0 +1,16 @@
+// @file: src/match/fixture.h
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Cache {
+ private:
+  util::Mutex mu_;
+  int hits_ WIKIMATCH_GUARDED_BY(mu_) = 0;
+};
+
+// @file: src/match/fixture.cc
+#include "match/fixture.h"
+
+// The rule only applies to headers; a .cc-local mutex (rare, but legal
+// for file-scope state) is std-banned by raw-mutex instead.
+util::Mutex g_mu;

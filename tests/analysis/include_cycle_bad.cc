@@ -1,0 +1,9 @@
+// @file: src/match/a.h
+#include "match/b.h"
+namespace wikimatch {}
+
+// @file: src/match/b.h
+// Header guards make this compile; it is still a banned cycle. The
+// report anchors at the include that closes it.
+#include "match/a.h"  // LINT[include-cycle]
+namespace wikimatch {}

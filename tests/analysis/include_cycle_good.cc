@@ -1,0 +1,13 @@
+// @file: src/match/a.h
+// A diamond is fine — only a directed cycle is banned.
+#include "match/b.h"
+#include "match/c.h"
+
+// @file: src/match/b.h
+#include "match/d.h"
+
+// @file: src/match/c.h
+#include "match/d.h"
+
+// @file: src/match/d.h
+namespace wikimatch {}

@@ -1,0 +1,13 @@
+// @file: src/util/low.h
+namespace wikimatch {}
+
+// @file: src/text/mid.h
+#include "util/low.h"
+
+// @file: src/util/bad.cc
+// util is the bottom layer: it may not include upward into text.
+#include "text/mid.h"  // LINT[layering]
+
+// @file: src/foo/undeclared.cc
+// Module `foo` is not in the declared DAG at all.
+#include "util/low.h"  // LINT[layering]

@@ -1,0 +1,13 @@
+// @file: src/util/low.h
+namespace wikimatch {}
+
+// @file: src/text/mid.h
+#include "util/low.h"
+
+// @file: src/match/high.cc
+#include "text/mid.h"
+#include "util/low.h"
+
+// @file: src/match/sibling.cc
+// Same-module includes are always allowed.
+#include "match/high.cc"

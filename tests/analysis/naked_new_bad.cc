@@ -1,0 +1,15 @@
+// @file: src/match/fixture.cc
+#include <string>
+
+int* Leak() {
+  int* p = new int(4);  // LINT[naked-new]
+  return p;
+}
+
+std::string* MultiLine() {
+  // The legacy regex only looked at single lines; the token stream sees
+  // the allocation regardless of where the line breaks fall.
+  std::string* q =
+      new std::string("x");  // LINT[naked-new]
+  return q;
+}

@@ -1,0 +1,16 @@
+// @file: src/match/fixture.cc
+#include <memory>
+#include <string>
+
+void Owned() {
+  auto a = std::make_unique<int>(3);
+  std::unique_ptr<std::string> b(new std::string("x"));
+  auto c = std::make_shared<std::string>("y");
+}
+
+// `new` inside comments or literals is not an allocation: new Foo()
+const char* Text() { return "new Foo()"; }
+
+struct Pool {
+  void* operator new(unsigned long n);  // overload decl, not an allocation
+};

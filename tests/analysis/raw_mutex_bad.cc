@@ -1,0 +1,14 @@
+// @file: src/match/fixture.cc
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_mu;  // LINT[raw-mutex]
+
+// condition_variable_any was a false negative of the legacy regex (it
+// only matched `condition_variable\b` forms it listed explicitly).
+std::condition_variable_any g_cv;  // LINT[raw-mutex]
+
+void TakeBoth() {
+  std  // LINT[raw-mutex]
+      ::scoped_lock both(g_mu);
+}

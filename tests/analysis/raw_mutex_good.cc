@@ -1,0 +1,15 @@
+// @file: src/util/fixture.cc
+#include <mutex>
+
+// util/ is exempt: it is where the annotated wrappers live.
+std::mutex g_impl_mu;
+
+// @file: src/match/user.cc
+#include "util/mutex.h"
+
+util::Mutex g_mu;
+
+void Use() { util::MutexLock lock(g_mu); }
+
+// Mentions in comments/strings are fine: std::mutex
+const char* Doc() { return "std::mutex"; }

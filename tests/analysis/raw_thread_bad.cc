@@ -1,0 +1,10 @@
+// @file: src/match/fixture.cc
+#include <thread>
+
+void Work();
+
+void Spawn() {
+  std::thread t(Work);  // LINT[raw-thread]
+  t.join();
+  std::jthread j(Work);  // LINT[raw-thread]
+}

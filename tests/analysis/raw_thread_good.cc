@@ -1,0 +1,13 @@
+// @file: src/net/fixture.cc
+#include <thread>
+
+// net/ is exempt: its event-loop threads are the serving substrate, not
+// work that belongs on the shared pool.
+void Loop();
+void Spawn() { std::thread t(Loop); t.join(); }
+
+// @file: src/match/user.cc
+#include "util/thread_pool.h"
+
+// Comment mention only: std::thread
+void Use() {}

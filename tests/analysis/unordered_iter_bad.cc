@@ -1,0 +1,31 @@
+// @file: src/serve/state.h
+#include <unordered_map>
+
+struct State {
+  std::unordered_map<int, int> table;
+};
+
+// @file: src/serve/use.cc
+#include <unordered_map>
+
+#include "serve/state.h"
+
+void Use(int);
+
+void Emit(State* s) {
+  // Member declared in a transitively included header.
+  for (const auto& [k, v] : s->table) {  // LINT[unordered-iter]
+    Use(v);
+  }
+  auto it = s->table.begin();  // LINT[unordered-iter]
+  Use(it->second);
+}
+
+using FdMap = std::unordered_map<int, int>;
+
+void Drain() {
+  FdMap conns;
+  for (auto& kv : conns) {  // LINT[unordered-iter]
+    Use(kv.second);
+  }
+}

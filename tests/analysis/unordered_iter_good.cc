@@ -1,0 +1,26 @@
+// @file: src/serve/use.cc
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+void Use(int);
+std::vector<int> SortedKeys(const std::unordered_map<int, int>& m);
+
+void Emit() {
+  // Ordered containers iterate deterministically.
+  std::map<int, int> ordered;
+  for (const auto& [k, v] : ordered) Use(v);
+
+  // Lookups into an unordered container are fine; only iteration is not.
+  std::unordered_map<int, int> index;
+  Use(index.count(3) > 0 ? index.at(3) : 0);
+
+  // Iterating a function's RESULT is fine — the call may return an
+  // ordered view of the container.
+  for (int k : SortedKeys(index)) Use(k);
+
+  // Order provably cannot reach output: justified escape hatch.
+  int sum = 0;
+  for (const auto& [k, v] : index) sum += v;  // NOLINT(unordered-iter)
+  Use(sum);
+}

@@ -15,7 +15,7 @@
 #include "ingest/delta.h"
 #include "match/dictionary.h"
 #include "sync/evidence.h"
-#include "sync/oracle.h"
+#include "synth/sync_oracle.h"
 #include "sync/sync_engine.h"
 #include "synth/delta.h"
 #include "synth/generator.h"
@@ -246,7 +246,7 @@ TEST(SyncEngineTest, ByteIdenticalAcrossThreadCounts) {
   match::TranslationDictionary dict;
   dict.Build(gc.corpus);
   SyncEngine engine(&gc.corpus, &dict, gc.hub);
-  std::vector<SyncScope> scopes = SyncOracle::ScopesFromGroundTruth(gc);
+  std::vector<SyncScope> scopes = synth::SyncOracle::ScopesFromGroundTruth(gc);
   std::string baseline = EncodeSyncReport(engine.Run(scopes, 1));
   EXPECT_FALSE(baseline.empty());
   for (size_t threads : {2u, 3u, 8u}) {
@@ -270,7 +270,7 @@ TEST(SyncEngineTest, ResyncByteIdenticalToFullRunAfterDelta) {
   synth::GeneratedCorpus gc = MustGenerate(synth::GeneratorOptions::Tiny());
   match::TranslationDictionary dict;
   dict.Build(gc.corpus);
-  std::vector<SyncScope> scopes = SyncOracle::ScopesFromGroundTruth(gc);
+  std::vector<SyncScope> scopes = synth::SyncOracle::ScopesFromGroundTruth(gc);
   SyncEngine engine(&gc.corpus, &dict, gc.hub);
   SyncReport before = engine.Run(scopes, 2);
 
@@ -306,12 +306,12 @@ TEST(SyncOracleTest, PrecisionAndRecallAgainstConceptModel) {
   match::TranslationDictionary dict;
   dict.Build(gc.corpus);
   SyncEngine engine(&gc.corpus, &dict, gc.hub);
-  std::vector<SyncScope> scopes = SyncOracle::ScopesFromGroundTruth(gc);
+  std::vector<SyncScope> scopes = synth::SyncOracle::ScopesFromGroundTruth(gc);
   SyncReport report = engine.Run(scopes, 4);
 
-  SyncOracle oracle(&gc);
+  synth::SyncOracle oracle(&gc);
   ASSERT_GT(oracle.num_labels(), 500u);
-  SyncScore score = oracle.Score(report);
+  synth::SyncScore score = oracle.Score(report);
 
   // Every scored class occurs in the corpus — the thresholds below are
   // meaningful for all four.

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Full verification matrix (docs/ANALYSIS.md): build + tests, bench
-# artifact regeneration + trend gate, lint, the static-analysis stages,
-# negative compile checks proving the contracts actually fire, and the
-# sanitizer matrix (ASan+UBSan full suite, TSan concurrency tests).
+# artifact regeneration + trend gate, the in-tree analyzer
+# (wikimatch-lint), the static-analysis stages, negative compile checks
+# proving the contracts actually fire, and the sanitizer matrix
+# (ASan+UBSan full suite; TSan concurrency tests with the runtime
+# lock-order deadlock detector compiled in).
 #
 # Clang-only stages (thread-safety build, clang-tidy, the thread-safety
 # negative check) auto-detect the toolchain and SKIP with a note when it
 # is absent — the tier-1 gate must pass on a GCC-only box. A PASS/SKIP/
-# WARN/FAIL table prints at the end; any FAIL exits nonzero.
+# WARN/FAIL table prints at the end; any FAIL exits nonzero. The same
+# table is written machine-readably to check_summary.json (CI asserts on
+# it; override the path with WIKIMATCH_SUMMARY_JSON).
 #
 # Pass extra CMake flags as arguments, e.g.
 #   tools/check.sh -DWIKIMATCH_WERROR=ON
@@ -87,8 +91,13 @@ else
   record "bench trend (>15% regression warns)" SKIP
 fi
 
-# --------------------------------------------------------------------- lint
-run_stage "lint (tools/lint.sh)" tools/lint.sh
+# ----------------------------------------------------------------- analyzer
+# The in-tree analyzer (src/analysis/, built above as tools/wikimatch-lint)
+# replaces the old regex lint: token-level rules plus the layering DAG,
+# include-cycle, and unordered-iteration checks. The tree must be clean —
+# every deliberate exception carries a reasoned NOLINT.
+run_stage "analyzer (wikimatch-lint)" "$BUILD_DIR"/tools/wikimatch-lint \
+  --root .
 
 # --------------------------------------------------------------- clang-tidy
 if command -v clang-tidy >/dev/null 2>&1 && have_clang; then
@@ -226,11 +235,17 @@ if [[ "${WIKIMATCH_SKIP_TSAN:-0}" != "1" ]]; then
       c++ -fsanitize=thread -x c++ - -o /dev/null 2>/dev/null; then
     stage_tsan() {
       local tsan_dir="${TSAN_DIR:-build-tsan}"
+      # WIKIMATCH_DEADLOCK_DEBUG arms the lock-order cycle detector inside
+      # every util::Mutex for this whole stage: any inverted acquisition
+      # order in the concurrency tests aborts with both stacks, and
+      # deadlock_test's death test proves the abort path end to end.
       cmake -B "$tsan_dir" -S . -DWIKIMATCH_SANITIZE=thread \
+        -DWIKIMATCH_DEADLOCK_DEBUG=ON \
         -DWIKIMATCH_BUILD_BENCHMARKS=OFF -DWIKIMATCH_BUILD_EXAMPLES=OFF &&
       cmake --build "$tsan_dir" -j --target thread_pool_test parallel_test \
         align_join_test serve_test lru_cache_test net_server_test \
-        protocol_robustness_test ingest_test sync_test &&
+        protocol_robustness_test ingest_test sync_test deadlock_test &&
+      "$tsan_dir"/tests/deadlock_test &&
       # thread_pool_test stresses the shared work-stealing pool itself:
       # nested For, async steal-on-wait, handle reuse after pool death,
       # and the multi-level pipeline run on an injected pool.
@@ -270,6 +285,27 @@ echo "check.sh summary:"
 for i in "${!STAGE_NAMES[@]}"; do
   printf '  %-50s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
 done
+
+# Machine-readable twin of the table above, for CI assertions
+# (.github/workflows/ci.yml jq-checks that clang stages ran as PASS).
+SUMMARY_JSON="${WIKIMATCH_SUMMARY_JSON:-check_summary.json}"
+json_escape() { local s=$1; s=${s//\\/\\\\}; s=${s//\"/\\\"}; printf '%s' "$s"; }
+{
+  echo '{'
+  echo '  "stages": ['
+  last=$((${#STAGE_NAMES[@]} - 1))
+  for i in "${!STAGE_NAMES[@]}"; do
+    sep=','
+    if [[ "$i" == "$last" ]]; then sep=''; fi
+    printf '    {"name": "%s", "result": "%s"}%s\n' \
+      "$(json_escape "${STAGE_NAMES[$i]}")" "${STAGE_RESULTS[$i]}" "$sep"
+  done
+  echo '  ],'
+  if [[ "$FAILED" == 1 ]]; then echo '  "ok": false'; else echo '  "ok": true'; fi
+  echo '}'
+} > "$SUMMARY_JSON"
+echo "check.sh: wrote $SUMMARY_JSON"
+
 if [[ "$FAILED" == 1 ]]; then
   echo "check.sh: FAILED" >&2
   exit 1

@@ -1,0 +1,72 @@
+// wikimatch-lint: the project's in-tree static analyzer (src/analysis/).
+//
+// Replaces the old regex lint (tools/lint.sh) with a comment/string-aware
+// lexer and an include-graph model of the tree: the five legacy rules
+// without their regex false-negative classes, plus module-layering,
+// include-cycle, and unordered-iteration determinism rules that a regex
+// cannot express. Runs on any toolchain — this is the analysis stage that
+// still bites on a GCC-only box. See docs/ANALYSIS.md for the catalog.
+//
+// Usage: wikimatch-lint [--root DIR] [--rule NAME]...
+//   --root DIR   repo checkout to scan (default "."); scans DIR/src.
+//   --rule NAME  run only the named rule (repeatable; default: all).
+// Exit status: 0 clean, 1 violations (listed file:line: [rule] message),
+// 2 usage or I/O errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "analysis/source_tree.h"
+
+int main(int argc, char** argv) {
+  using wikimatch::analysis::Diagnostic;
+  std::string root = ".";
+  std::vector<std::string> rules;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      rules.push_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: wikimatch-lint [--root DIR] [--rule NAME]...\n");
+      std::printf("rules:");
+      for (const auto& r : wikimatch::analysis::RuleNames()) {
+        std::printf(" %s", r.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "wikimatch-lint: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  wikimatch::analysis::SourceTree tree;
+  wikimatch::util::Status status = tree.LoadFromDisk(root);
+  if (!status.ok()) {
+    std::fprintf(stderr, "wikimatch-lint: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  std::vector<Diagnostic> diags;
+  if (rules.empty()) {
+    diags = wikimatch::analysis::RunAllRules(tree);
+  } else {
+    for (const std::string& rule : rules) {
+      std::vector<Diagnostic> one = wikimatch::analysis::RunRule(tree, rule);
+      diags.insert(diags.end(), one.begin(), one.end());
+    }
+  }
+
+  if (diags.empty()) {
+    std::printf("wikimatch-lint: clean (%zu files)\n", tree.files().size());
+    return 0;
+  }
+  std::fprintf(stderr, "wikimatch-lint: %zu violation(s):\n", diags.size());
+  std::fputs(wikimatch::analysis::FormatDiagnostics(diags).c_str(), stderr);
+  return 1;
+}
